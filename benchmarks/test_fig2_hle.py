@@ -1,0 +1,58 @@
+"""Benchmark FIG2: hardware lock elision (paper Figure 2).
+
+Regenerates a reduced Figure 2 grid and asserts the paper's shape: PSS
+and HTMBench beat vanilla STAMP on elision-friendly workloads at high
+thread counts, labyrinth shows no benefit, and overhead at one thread is
+small.
+"""
+
+import pytest
+
+from repro.bench.experiments.fig2 import run_figure2
+
+
+@pytest.fixture(scope="module")
+def figure2():
+    from repro.bench.experiments import fig2
+
+    return fig2.run_figure2(
+        workloads=("genome", "ssca2", "labyrinth", "vacation-low",
+                   "kmeans-high"),
+        thread_counts=(1, 16),
+        seeds=(0,),
+    )
+
+
+def test_fig2_grid(benchmark):
+    """One reduced workload/thread grid, timed end to end."""
+    result = benchmark.pedantic(
+        lambda: run_figure2(workloads=("ssca2",), thread_counts=(16,),
+                            seeds=(0,)),
+        rounds=1, iterations=1,
+    )
+    assert result.rows
+
+
+def test_fig2_shape_elision_wins_at_16_threads(benchmark, figure2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_key = {(r.workload, r.threads): r for r in figure2.rows}
+    for workload in ("genome", "ssca2", "vacation-low", "kmeans-high"):
+        row = by_key[(workload, 16)]
+        assert row.pss_improvement > 0.15, workload
+        assert row.htmbench_improvement > 0.15, workload
+
+
+def test_fig2_shape_labyrinth_flat(benchmark, figure2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_key = {(r.workload, r.threads): r for r in figure2.rows}
+    for threads in (1, 16):
+        row = by_key[("labyrinth", threads)]
+        assert abs(row.pss_improvement) < 0.06
+        assert abs(row.htmbench_improvement) < 0.06
+
+
+def test_fig2_shape_single_thread_overhead_small(benchmark, figure2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row in figure2.rows:
+        if row.threads == 1:
+            assert row.pss_improvement > -0.08, row.workload

@@ -1,0 +1,51 @@
+"""Benchmark FIG3: PolyBench at 20 iterations (paper Figure 3).
+
+Shape assertions: positive average improvement in the paper's
+neighbourhood, at least one >100% kernel, and bounded worst-case loss.
+"""
+
+import pytest
+
+from repro.jit.runner import run_polybench_kernel, run_polybench_suite
+
+
+@pytest.fixture(scope="module")
+def suite20():
+    return run_polybench_suite(20)
+
+
+def test_fig3_single_kernel_comparison(benchmark):
+    """Time one baseline-vs-PSS kernel comparison (the unit of Fig 3)."""
+    comparison = benchmark.pedantic(
+        lambda: run_polybench_kernel(
+            __import__("repro.jit.polybench",
+                       fromlist=["KERNELS"]).KERNELS["gemm"], 20
+        ),
+        rounds=1, iterations=1,
+    )
+    assert comparison.iterations == 20
+
+
+def test_fig3_average_improvement(benchmark, suite20):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: +15.38% average over 30 kernels at 20 iterations.
+    assert 0.05 < suite20.average_improvement < 0.30
+
+
+def test_fig3_has_large_winner(benchmark, suite20):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: "the largest improvement is over 120%".
+    best = suite20.sorted_by_improvement()[0]
+    assert best.improvement > 1.0
+
+
+def test_fig3_losses_bounded(benchmark, suite20):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: "the largest slowdown is only around 6%".
+    worst = suite20.sorted_by_improvement()[-1]
+    assert worst.improvement > -0.25
+
+
+def test_fig3_all_thirty_kernels_present(benchmark, suite20):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(suite20.comparisons) == 30

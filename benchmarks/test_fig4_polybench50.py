@@ -1,0 +1,39 @@
+"""Benchmark FIG4: PolyBench at 50 iterations (paper Figure 4)."""
+
+import pytest
+
+from repro.jit.runner import run_polybench_suite
+
+
+@pytest.fixture(scope="module")
+def suite50():
+    return run_polybench_suite(50)
+
+
+def test_fig4_suite(benchmark):
+    """Time a reduced 50-iteration sweep (three kernels)."""
+    from repro.jit.polybench import KERNELS
+
+    subset = {k: KERNELS[k] for k in ("gemm", "mvt", "atax")}
+    result = benchmark.pedantic(
+        lambda: run_polybench_suite(50, kernels=subset),
+        rounds=1, iterations=1,
+    )
+    assert len(result.comparisons) == 3
+
+
+def test_fig4_average_improvement(benchmark, suite50):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: +11.11% average at 50 iterations.
+    assert 0.03 < suite50.average_improvement < 0.30
+
+
+def test_fig4_improvement_positive_overall(benchmark, suite50):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: "the improvement is still significantly larger than the
+    # slowdown".
+    gains = sum(c.improvement for c in suite50.comparisons
+                if c.improvement > 0)
+    losses = -sum(c.improvement for c in suite50.comparisons
+                  if c.improvement < 0)
+    assert gains > 3 * losses

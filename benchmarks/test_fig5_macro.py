@@ -1,0 +1,66 @@
+"""Benchmark FIG5: macrobenchmarks (paper Figure 5).
+
+Shape assertions at reduced iteration counts: PSS beats the baseline on
+the churny benchmarks, and the syscall transport underperforms the vDSO
+transport everywhere (catastrophically on aiohttp).
+"""
+
+import pytest
+
+from repro.jit.macro import MACROBENCHMARKS
+from repro.jit.runner import run_macro_benchmark
+
+#: reduced iteration counts keeping the bench suite tractable; the full
+#: counts are exercised by `python -m repro.bench.experiments.fig5`
+REDUCED = {"aiohttp": 1200, "gunicorn": 1200,
+           "djangocms": 800, "flaskblogging": 800}
+
+
+@pytest.fixture(scope="module")
+def macro_results():
+    return {
+        name: run_macro_benchmark(MACROBENCHMARKS[name][0],
+                                  REDUCED[name], runs=1)
+        for name in MACROBENCHMARKS
+    }
+
+
+def test_fig5_one_macro_run(benchmark):
+    """Time one reduced aiohttp comparison (the unit of Fig 5)."""
+    result = benchmark.pedantic(
+        lambda: run_macro_benchmark(MACROBENCHMARKS["aiohttp"][0],
+                                    300, runs=1),
+        rounds=1, iterations=1,
+    )
+    assert result.benchmark == "aiohttp"
+
+
+def test_fig5_pss_beats_baseline_on_churny_apps(benchmark,
+                                                macro_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: aiohttp +22.17%, gunicorn +18.66%.
+    assert macro_results["aiohttp"].pss_improvement > 0.08
+    assert macro_results["gunicorn"].pss_improvement > 0.05
+
+
+def test_fig5_djangocms_nearly_flat(benchmark, macro_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: +2.54%, the smallest of the four.
+    assert abs(macro_results["djangocms"].pss_improvement) < 0.10
+
+
+def test_fig5_syscall_below_vdso_everywhere(benchmark, macro_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper Section 5.2.4: "implementation using vDSO performs better
+    # than syscall" on every latency-sensitive benchmark.
+    for name, comparison in macro_results.items():
+        assert comparison.syscall_improvement < \
+            comparison.pss_improvement + 0.02, name
+
+
+def test_fig5_aiohttp_syscall_slower_than_baseline(benchmark,
+                                                   macro_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: the syscall variant "generates significant slowdown" on
+    # aiohttp (Figure 5a).
+    assert macro_results["aiohttp"].syscall_improvement < 0.02

@@ -1,0 +1,77 @@
+"""Benchmark LAT: the prediction-latency claim (paper Sections 1/3.3).
+
+Wall-clock benchmarks of the actual Python ``predict``/``update`` calls
+per transport, plus assertions that the simulated cost model reproduces
+the paper's numbers exactly (4.19 ns vDSO, 68 ns syscall, >16x).
+"""
+
+import pytest
+
+from repro.core import (
+    LatencyModel,
+    PredictionService,
+    PSSConfig,
+    SYSCALL_LATENCY_NS,
+    VDSO_PREDICT_LATENCY_NS,
+)
+
+
+def make_client(transport, batch_size=32):
+    service = PredictionService()
+    return service.connect(
+        f"bench-{transport}", config=PSSConfig(num_features=2),
+        transport=transport, batch_size=batch_size,
+    )
+
+
+def test_latency_predict_vdso_wallclock(benchmark):
+    client = make_client("vdso")
+    features = [12, 34]
+    benchmark(client.predict, features)
+
+
+def test_latency_predict_syscall_wallclock(benchmark):
+    client = make_client("syscall")
+    features = [12, 34]
+    benchmark(client.predict, features)
+
+
+def test_latency_update_batched_wallclock(benchmark):
+    client = make_client("vdso", batch_size=32)
+    features = [12, 34]
+    benchmark(client.update, features, True)
+
+
+def test_latency_simulated_costs_match_paper(benchmark):
+    client = make_client("vdso")
+    result = benchmark.pedantic(
+        lambda: [client.predict([1, 2]) for _ in range(100)],
+        rounds=1, iterations=1,
+    )
+    assert len(result) == 100
+    assert client.latency.mean_vdso_ns == \
+        pytest.approx(VDSO_PREDICT_LATENCY_NS)
+
+    syscall = make_client("syscall")
+    syscall.predict([1, 2])
+    assert syscall.latency.mean_syscall_ns == SYSCALL_LATENCY_NS
+
+    # The headline: >16x latency reduction via the vDSO.
+    assert LatencyModel().speedup_factor > 16
+
+
+def test_latency_batching_amortizes_updates(benchmark):
+    def measure():
+        unbatched = make_client("syscall")
+        batched = make_client("vdso", batch_size=32)
+        for _ in range(320):
+            unbatched.update([1, 2], True)
+            batched.update([1, 2], True)
+        batched.flush()
+        return unbatched.latency.syscall_ns, batched.latency.syscall_ns
+
+    unbatched_ns, batched_ns = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    # 320 syscalls vs 10 batched flushes: order-of-magnitude cheaper.
+    assert batched_ns < unbatched_ns / 5

@@ -1,0 +1,63 @@
+"""Scenario 2: PSS-tuned JIT parameters (paper Section 4.3).
+
+Tunes the mini tracing-JIT's Table 1 parameters on one PolyBench kernel
+and one macrobenchmark, printing the Listing 2 control loop's behaviour:
+the ladder of parameter settings it walks and the resulting speedup over
+the default configuration.
+
+Run: python examples/jit_tuning.py [kernel]
+"""
+
+import sys
+from collections import Counter
+
+from repro.jit.macro import aiohttp
+from repro.jit.params import LADDER, MULTIPLIERS
+from repro.jit.polybench import KERNELS
+from repro.jit.runner import run_macro_benchmark
+from repro.jit.tuner import BaselineRunner, PSSTuner
+
+
+def tune_kernel(name: str, iterations: int = 20) -> None:
+    builder = KERNELS[name]
+    baseline = BaselineRunner().run(builder(), iterations)
+    tuner = PSSTuner()
+    tuned = tuner.run(builder(), iterations)
+
+    print(f"kernel={name}, {iterations} iterations")
+    print(f"  baseline total: {baseline.total_ns / 1e6:8.2f} ms")
+    print(f"  PSS total     : {tuned.total_ns / 1e6:8.2f} ms "
+          f"({baseline.total_ns / tuned.total_ns - 1:+.1%})")
+    ladder_counts = Counter(r.ladder_index for r in tuned.iterations)
+    steps = ", ".join(
+        f"{MULTIPLIERS[i]}x: {ladder_counts[i]}"
+        for i in sorted(ladder_counts)
+    )
+    print(f"  iterations per parameter setting: {steps}")
+    final = LADDER[tuned.iterations[-1].ladder_index]
+    print(f"  final parameters: threshold={final.threshold}, "
+          f"trace_limit={final.trace_limit}, "
+          f"loop_longevity={final.loop_longevity}")
+
+
+def tune_macro() -> None:
+    print("\nmacrobenchmark aiohttp (600 iterations, reduced)")
+    comparison = run_macro_benchmark(aiohttp, 600, runs=1)
+    print(f"  PSS (vDSO)   : {comparison.pss_improvement:+.1%}")
+    print(f"  PSS (syscall): {comparison.syscall_improvement:+.1%}  "
+          f"<- boundary crossings on the dispatch path")
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "gemver"
+    if kernel not in KERNELS:
+        raise SystemExit(
+            f"unknown kernel {kernel!r}; choose from "
+            f"{', '.join(sorted(KERNELS))}"
+        )
+    tune_kernel(kernel)
+    tune_macro()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Scenario 1: PSS-guided hardware lock elision (paper Section 4.1).
+
+Runs one STAMP-like workload under the three elision policies of
+Figure 2 - the lock-only baseline, the statically profiled HTMBench-like
+configuration, and PSS - and prints the resulting speedups plus the
+transactional statistics behind them.
+
+Run: python examples/lock_elision.py [workload] [threads]
+"""
+
+import sys
+
+from repro.htm import (
+    build_profile_plan,
+    lock_only_builder,
+    profiled_builder,
+    pss_builder,
+    run_workload,
+)
+from repro.htm.stamp import PROFILES, get_profile
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "vacation-low"
+    threads = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    if name not in PROFILES:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(sorted(PROFILES))}"
+        )
+    profile = get_profile(name)
+    print(f"workload={name} ({profile.description}), threads={threads}")
+
+    baseline = run_workload(profile, threads, lock_only_builder(),
+                            seed=0)
+    print(f"\nvanilla (lock-only): {baseline.runtime_ns / 1e6:8.3f} ms")
+
+    plan = build_profile_plan(profile, threads, seed=0)
+    profiled = run_workload(profile, threads, profiled_builder(plan),
+                            seed=0)
+    print(f"HTMBench-like      : {profiled.runtime_ns / 1e6:8.3f} ms "
+          f"({baseline.runtime_ns / profiled.runtime_ns - 1:+.1%})"
+          f"   plan={plan}")
+
+    pss = run_workload(profile, threads, pss_builder(), seed=0)
+    stats = pss.policy_stats
+    tx = pss.tx_stats
+    print(f"PSS                : {pss.runtime_ns / 1e6:8.3f} ms "
+          f"({baseline.runtime_ns / pss.runtime_ns - 1:+.1%})")
+    print(f"\nPSS section outcomes: {stats.htm_commits} HTM commits, "
+          f"{stats.lock_paths} lock paths, "
+          f"{stats.skipped_htm} predicted skips")
+    aborts = {code.value: count
+              for code, count in tx.aborts_by_code.items() if count}
+    print(f"HTM: {tx.begins} begins, {tx.commits} commits, "
+          f"aborts by cause: {aborts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Scenario 3: PSS-guided page-reclaim throttling (paper Section 4.2).
+
+Runs the stutterp workload at one pressure level under the vanilla
+congestion_wait kernel, the Gorman patch, and PSS, printing the anon
+latency worker's fault latency and the reclaim statistics that explain
+the differences.
+
+Run: python examples/page_reclaim.py [workers]
+"""
+
+import sys
+
+from repro.core import PredictionService
+from repro.mm import (
+    GormanThrottle,
+    VanillaCongestionWait,
+    make_pss_throttle,
+    run_stutterp,
+)
+
+
+def describe(result) -> str:
+    stats = result.vmstats
+    return (f"avg latency {result.average_latency_ns / 1e3:8.1f} us  "
+            f"p95 {result.p95_latency_ns / 1e3:8.1f} us  "
+            f"sleeps {stats.throttle_sleeps:4d} "
+            f"({stats.throttle_sleep_ns / 1e6:6.1f} ms)  "
+            f"efficiency {stats.overall_efficiency:.1%}")
+
+
+def main() -> None:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    print(f"stutterp with {workers} workers "
+          f"(1 latency worker + writers/readers/hogs)\n")
+
+    vanilla = run_stutterp(workers, VanillaCongestionWait(), seed=0)
+    print(f"vanilla : {describe(vanilla)}")
+
+    gorman = run_stutterp(workers, GormanThrottle(), seed=0)
+    print(f"gorman  : {describe(gorman)} "
+          f"({vanilla.average_latency_ns / gorman.average_latency_ns - 1:+.1%})")
+
+    service = PredictionService()
+    for run in range(1, 4):
+        throttle = make_pss_throttle(service)
+        pss = run_stutterp(workers, throttle, seed=run)
+        throttle.client.flush()
+        improvement = (vanilla.average_latency_ns
+                       / pss.average_latency_ns - 1)
+        print(f"PSS run{run}: {describe(pss)} ({improvement:+.1%})")
+    print("\nThe service persists across the PSS runs, so each run "
+          "starts from the previous run's trained weights.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: the Prediction System Service in five minutes.
+
+Demonstrates the paper's three-call interface - predict, update, reset -
+on the simplest possible task: learning which of two code paths is faster
+for a given input context, exactly the fastpath/slowpath pattern of the
+paper's introduction.
+
+Run: python examples/quickstart.py
+"""
+
+from repro.core import PredictionService, PSSConfig
+
+
+def simulated_fast_path_works(context: int) -> bool:
+    """Ground truth the service will have to discover: the optimistic
+    fast path succeeds only for even contexts."""
+    return context % 2 == 0
+
+
+def main() -> None:
+    # One service per "kernel"; applications connect to named domains.
+    service = PredictionService()
+    client = service.connect(
+        "quickstart",
+        config=PSSConfig(num_features=1),
+        transport="vdso",   # the paper's low-latency deployment
+    )
+
+    decisions = 0
+    correct = 0
+    for step in range(400):
+        context = step % 10
+
+        # 1. predict: should we try the fast path for this context?
+        take_fast_path = client.predict_bool([context])
+
+        # ... the application takes the chosen path ...
+        succeeded = simulated_fast_path_works(context)
+
+        # 2. update: reward when the recommendation worked out.
+        client.update([context], direction=succeeded)
+
+        if step >= 200:  # score the trained half of the run
+            decisions += 1
+            correct += take_fast_path == succeeded
+
+    print(f"accuracy after training: {correct / decisions:.0%}")
+    print(f"boundary crossings     : "
+          f"{client.latency.vdso_calls} vDSO reads, "
+          f"{client.latency.syscalls} syscalls "
+          f"(updates batched {client.latency.update_records} records)")
+    print(f"simulated service time : "
+          f"{client.latency.total_ns / 1000:.1f} us total")
+
+    # 3. reset: wipe the domain (e.g. the workload changed completely).
+    client.reset([0], reset_all=True)
+    print(f"after reset, score({3}) = {client.predict([3])}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Reproduction of "A Prediction System Service" (ASPLOS 2023).
+
+Subpackages:
+
+* :mod:`repro.core` - the Prediction System Service (perceptron predictor,
+  vDSO/syscall transports, policy, persistence).
+* :mod:`repro.sim`  - deterministic discrete-event simulation substrate.
+* :mod:`repro.htm`  - hardware transactional memory + lock elision scenario.
+* :mod:`repro.jit`  - tracing-JIT mini-VM + parameter-tuning scenario.
+* :mod:`repro.mm`   - memory management / page-reclaim scenario.
+* :mod:`repro.bench` - experiment drivers regenerating the paper's figures.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import PredictionService, PSSClient, PSSConfig
+
+__all__ = ["PredictionService", "PSSClient", "PSSConfig", "__version__"]

@@ -1,0 +1,69 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Dispatches to the experiment drivers and a few utility commands so the
+whole evaluation is reachable without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments
+
+EXPERIMENTS = {
+    "fig2": (experiments.fig2.main,
+             "Figure 2: hardware lock elision on STAMP"),
+    "fig3": (experiments.fig3.main,
+             "Figure 3: PolyBench, 20 iterations"),
+    "fig4": (experiments.fig4.main,
+             "Figure 4: PolyBench, 50 iterations"),
+    "fig5": (experiments.fig5.main,
+             "Figure 5: macrobenchmarks"),
+    "fig6": (experiments.fig6.main,
+             "Figure 6: stutterp page reclaim"),
+    "latency": (experiments.latency.main,
+                "Prediction latency (vDSO vs syscall)"),
+}
+
+
+def cmd_models(_args: list[str]) -> int:
+    from repro.core import registered_models
+
+    print("registered predictor models:")
+    for name in registered_models():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_all(args: list[str]) -> int:
+    status = 0
+    for name, (main, title) in EXPERIMENTS.items():
+        print(f"\n=== {name}: {title} ===\n")
+        status |= main(args)
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'A Prediction System Service' "
+                     "(ASPLOS 2023)"),
+    )
+    choices = [*EXPERIMENTS, "all", "models"]
+    parser.add_argument("command", choices=choices,
+                        help="experiment or utility to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweeps for a fast look")
+    parsed = parser.parse_args(argv)
+
+    passthrough = ["--quick"] if parsed.quick else []
+    if parsed.command == "models":
+        return cmd_models(passthrough)
+    if parsed.command == "all":
+        return cmd_all(passthrough)
+    return EXPERIMENTS[parsed.command][0](passthrough)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

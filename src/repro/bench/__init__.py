@@ -1,0 +1,5 @@
+"""Benchmark harness: experiment drivers and table formatting."""
+
+from repro.bench.tables import format_table, pct, series_summary
+
+__all__ = ["format_table", "pct", "series_summary"]

@@ -1,0 +1,10 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning structured results and
+a ``main()`` that prints the figure's rows; all are runnable as
+``python -m repro.bench.experiments.<name>``.
+"""
+
+from repro.bench.experiments import fig2, fig3, fig4, fig5, fig6, latency
+
+__all__ = ["fig2", "fig3", "fig4", "fig5", "fig6", "latency"]

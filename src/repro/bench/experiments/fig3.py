@@ -1,0 +1,43 @@
+"""Figure 3: PSS improvement on PolyBenchPython, first 20 iterations.
+
+Run with ``python -m repro.bench.experiments.fig3``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import format_table, pct
+from repro.jit.runner import SuiteResult, run_polybench_suite
+
+ITERATIONS = 20
+
+
+def run_figure3(iterations: int = ITERATIONS) -> SuiteResult:
+    """Every kernel's baseline-vs-PSS comparison at ``iterations``."""
+    return run_polybench_suite(iterations)
+
+
+def print_suite(suite: SuiteResult, paper_avg: str) -> None:
+    print(format_table(
+        ["kernel", "baseline (ms)", "PSS (ms)", "improvement"],
+        [
+            [c.kernel, f"{c.baseline_ns / 1e6:.2f}",
+             f"{c.pss_ns / 1e6:.2f}", pct(c.improvement)]
+            for c in suite.sorted_by_improvement()
+        ],
+    ))
+    print()
+    print(f"average improvement: {pct(suite.average_improvement)} "
+          f"(paper: {paper_avg})")
+    print(f"geomean improvement: {pct(suite.geomean_improvement)}")
+
+
+def main(argv=None) -> int:
+    suite = run_figure3()
+    print(f"Figure 3: PolyBenchPython, first {suite.iterations} "
+          f"iterations")
+    print_suite(suite, paper_avg="+15.38%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Figure 4: PSS improvement on PolyBenchPython, first 50 iterations.
+
+Run with ``python -m repro.bench.experiments.fig4``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments.fig3 import print_suite
+from repro.jit.runner import SuiteResult, run_polybench_suite
+
+ITERATIONS = 50
+
+
+def run_figure4(iterations: int = ITERATIONS) -> SuiteResult:
+    return run_polybench_suite(iterations)
+
+
+def main(argv=None) -> int:
+    suite = run_figure4()
+    print(f"Figure 4: PolyBenchPython, first {suite.iterations} "
+          f"iterations")
+    print_suite(suite, paper_avg="+11.11%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

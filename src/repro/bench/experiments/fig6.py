@@ -1,0 +1,78 @@
+"""Figure 6: stutterp average-latency improvement over the vanilla kernel.
+
+For every mmap-N worker count, regenerates the Gorman-patch bar and the
+four successive PSS-run bars (the service persists across the four runs).
+
+Run with ``python -m repro.bench.experiments.fig6``; ``--quick`` reduces
+the sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.bench.figures import bar_chart
+from repro.bench.tables import format_table, pct
+from repro.mm import FIGURE6_WORKERS, Figure6Column, compare_throttles
+
+
+@dataclass
+class Figure6Result:
+    columns: list[Figure6Column] = field(default_factory=list)
+
+    @property
+    def average_pss_improvement(self) -> float:
+        """Mean over all PSS bars - the paper's '33% average latency
+        reduction' headline."""
+        bars = [
+            bar for col in self.columns
+            for bar in col.pss_run_improvements
+        ]
+        return sum(bars) / len(bars) if bars else 0.0
+
+
+def run_figure6(workers=FIGURE6_WORKERS, seed: int = 0,
+                pss_runs: int = 4,
+                duration_ns: float | None = None) -> Figure6Result:
+    result = Figure6Result()
+    for count in workers:
+        kwargs = {} if duration_ns is None else \
+            {"duration_ns": duration_ns}
+        result.columns.append(
+            compare_throttles(count, seed=seed, pss_runs=pss_runs,
+                              **kwargs)
+        )
+    return result
+
+
+def main(argv=None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    quick = "--quick" in args
+    result = run_figure6(
+        workers=(4, 12, 30, 64) if quick else FIGURE6_WORKERS,
+        duration_ns=150_000_000.0 if quick else None,
+    )
+    print("Figure 6: stutterp latency improvement over vanilla")
+    print(format_table(
+        ["workers", "vanilla (us)", "gorman", "PSS r1", "PSS r2",
+         "PSS r3", "PSS r4"],
+        [
+            [f"mmap-{c.workers}", f"{c.vanilla_latency_ns / 1e3:.0f}",
+             pct(c.gorman_improvement)]
+            + [pct(x) for x in c.pss_run_improvements]
+            for c in result.columns
+        ],
+    ))
+    print("\nbest PSS run per worker count:")
+    print(bar_chart(
+        [f"mmap-{c.workers}" for c in result.columns],
+        [max(c.pss_run_improvements) for c in result.columns],
+    ))
+    print(f"\naverage PSS latency improvement: "
+          f"{pct(result.average_pss_improvement)} (paper: +33%)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

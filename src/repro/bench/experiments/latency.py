@@ -1,0 +1,80 @@
+"""The latency claim: predictions in 4.19 ns via vDSO vs 68 ns syscall.
+
+Two measurements:
+
+* **simulated boundary cost** - what the transports charge per call,
+  reproducing the paper's 16x figure exactly (it is the cost model);
+* **wall-clock service overhead** - how long this Python implementation
+  actually takes per ``predict``, measured with ``time.perf_counter_ns``.
+  Absolute numbers are Python-speed, but the *relative* ordering
+  (vdso-style direct call cheaper than a syscall-priced call path) holds.
+
+Run with ``python -m repro.bench.experiments.latency``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core import PredictionService, PSSConfig
+
+CALLS = 20_000
+
+
+@dataclass
+class LatencyResult:
+    simulated_vdso_ns: float
+    simulated_syscall_ns: float
+    wall_vdso_ns: float
+    wall_syscall_ns: float
+
+    @property
+    def simulated_speedup(self) -> float:
+        """Paper: 68 / 4.19 > 16x."""
+        return self.simulated_syscall_ns / self.simulated_vdso_ns
+
+
+def _wall_time_per_predict(client, calls: int) -> float:
+    features = [12, 34]
+    start = time.perf_counter_ns()
+    for _ in range(calls):
+        client.predict(features)
+    return (time.perf_counter_ns() - start) / calls
+
+
+def run_latency(calls: int = CALLS) -> LatencyResult:
+    service = PredictionService()
+    config = PSSConfig(num_features=2)
+    vdso = service.connect("lat-vdso", config=config, transport="vdso")
+    syscall = service.connect("lat-sys", config=config,
+                              transport="syscall")
+
+    wall_vdso = _wall_time_per_predict(vdso, calls)
+    wall_syscall = _wall_time_per_predict(syscall, calls)
+
+    return LatencyResult(
+        simulated_vdso_ns=vdso.latency.mean_vdso_ns,
+        simulated_syscall_ns=syscall.latency.mean_syscall_ns,
+        wall_vdso_ns=wall_vdso,
+        wall_syscall_ns=wall_syscall,
+    )
+
+
+def main(argv=None) -> int:
+    result = run_latency()
+    print("Prediction latency (paper Section 3.3)")
+    print(f"  simulated vDSO predict : "
+          f"{result.simulated_vdso_ns:7.2f} ns  (paper: 4.19 ns)")
+    print(f"  simulated syscall      : "
+          f"{result.simulated_syscall_ns:7.2f} ns  (paper: 68 ns)")
+    print(f"  simulated speedup      : "
+          f"{result.simulated_speedup:7.2f} x   (paper: >16x)")
+    print(f"  wall-clock vDSO path   : {result.wall_vdso_ns:7.0f} ns")
+    print(f"  wall-clock syscall path: "
+          f"{result.wall_syscall_ns:7.0f} ns")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Plain-text table/series formatting for the experiment drivers.
+
+The drivers print the same rows and series the paper's figures plot, as
+aligned text tables - the reproduction's equivalent of regenerating the
+figure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as an aligned text table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def pct(value: float) -> str:
+    """Format a ratio as a signed percentage."""
+    return f"{value:+.1%}"
+
+
+def series_summary(series: Sequence[float], points: int = 8) -> str:
+    """Downsample a long numeric series for textual display."""
+    if not series:
+        return "<empty>"
+    if len(series) <= points:
+        sampled = list(series)
+    else:
+        step = (len(series) - 1) / (points - 1)
+        sampled = [series[round(i * step)] for i in range(points)]
+    return " -> ".join(f"{v:.3g}" for v in sampled)

@@ -1,0 +1,126 @@
+"""Core Prediction System Service: the paper's primary contribution.
+
+Public surface:
+
+* :class:`PredictionService` / :class:`PSSClient` - the service and the
+  user-side handle with the paper's ``predict``/``update``/``reset`` calls.
+* :class:`PSSConfig`, :class:`ServiceConfig`, :class:`LatencyModel` -
+  configuration.
+* :class:`HashedPerceptron` and the model registry - prediction backends.
+* Feature helpers (:func:`round_to_msf`, :class:`HistoryRegister`, ...).
+* Policy (:class:`ClientIdentity`, :class:`DomainPolicy`) and persistence
+  (:func:`save_service`, :func:`load_service`).
+"""
+
+from repro.core.client import PSSClient
+from repro.core.config import (
+    LatencyModel,
+    MAX_FEATURES,
+    PSSConfig,
+    ServiceConfig,
+    SYSCALL_LATENCY_NS,
+    VDSO_PREDICT_LATENCY_NS,
+)
+from repro.core.errors import (
+    ConfigError,
+    DomainError,
+    FeatureError,
+    ModelError,
+    PersistenceError,
+    PolicyError,
+    PSSError,
+    TransportError,
+)
+from repro.core.features import (
+    FeatureVector,
+    HistoryRegister,
+    embed_category,
+    embed_hierarchy,
+    reciprocal_ratio,
+    round_to_msf,
+    rounded_vector,
+)
+from repro.core.models import (
+    PredictorModel,
+    create_model,
+    ensure_builtin_models,
+    register_model,
+    registered_models,
+)
+from repro.core.multiclass import BinarySearchTuner, MultiChoiceClient
+from repro.core.perceptron import HashedPerceptron
+from repro.core.persistence import (
+    load_service,
+    restore_service,
+    save_service,
+    snapshot_service,
+)
+from repro.core.policy import (
+    ClientIdentity,
+    DomainPolicy,
+    SharingMode,
+    open_policy,
+    private_policy,
+)
+from repro.core.service import Domain, DomainHandle, PredictionService
+from repro.core.stats import DomainReport, LatencyAccount, PredictionStats
+from repro.core.transport import (
+    BatchUpdateBuffer,
+    SyscallTransport,
+    Transport,
+    VdsoTransport,
+    make_transport,
+)
+
+__all__ = [
+    "PSSClient",
+    "LatencyModel",
+    "MAX_FEATURES",
+    "PSSConfig",
+    "ServiceConfig",
+    "SYSCALL_LATENCY_NS",
+    "VDSO_PREDICT_LATENCY_NS",
+    "ConfigError",
+    "DomainError",
+    "FeatureError",
+    "ModelError",
+    "PersistenceError",
+    "PolicyError",
+    "PSSError",
+    "TransportError",
+    "FeatureVector",
+    "HistoryRegister",
+    "embed_category",
+    "embed_hierarchy",
+    "reciprocal_ratio",
+    "round_to_msf",
+    "rounded_vector",
+    "PredictorModel",
+    "create_model",
+    "ensure_builtin_models",
+    "register_model",
+    "registered_models",
+    "BinarySearchTuner",
+    "MultiChoiceClient",
+    "HashedPerceptron",
+    "load_service",
+    "restore_service",
+    "save_service",
+    "snapshot_service",
+    "ClientIdentity",
+    "DomainPolicy",
+    "SharingMode",
+    "open_policy",
+    "private_policy",
+    "Domain",
+    "DomainHandle",
+    "PredictionService",
+    "DomainReport",
+    "LatencyAccount",
+    "PredictionStats",
+    "BatchUpdateBuffer",
+    "SyscallTransport",
+    "Transport",
+    "VdsoTransport",
+    "make_transport",
+]

@@ -1,0 +1,100 @@
+"""User-side client handle for the Prediction System Service.
+
+A :class:`PSSClient` is what an application links against: the equivalent of
+the small shared library the paper maps into user space.  It exposes the
+three paper calls plus boolean conveniences, and routes them through a
+transport (vDSO fast path by default) that charges simulated latency.
+
+Typical use::
+
+    service = PredictionService()
+    client = service.connect("my-domain")
+    if client.predict_bool([perf_cnt, remaining_retries]):
+        ...  # fast path
+    client.update([perf_cnt, remaining_retries], direction=True)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import LatencyModel
+from repro.core.service import DomainHandle
+from repro.core.stats import LatencyAccount
+from repro.core.transport import Transport, make_transport
+
+
+class PSSClient:
+    """Application-facing connection to one prediction domain."""
+
+    def __init__(self, handle: DomainHandle,
+                 transport_kind: str = "vdso",
+                 latency: LatencyModel | None = None,
+                 batch_size: int = 32) -> None:
+        self._handle = handle
+        self._transport: Transport = make_transport(
+            transport_kind, handle, latency, batch_size=batch_size
+        )
+
+    # -- identity / introspection -------------------------------------------
+
+    @property
+    def domain_name(self) -> str:
+        return self._handle.domain_name
+
+    @property
+    def transport_name(self) -> str:
+        return self._transport.name
+
+    @property
+    def latency(self) -> LatencyAccount:
+        """Simulated boundary-crossing time charged so far."""
+        return self._transport.account
+
+    @property
+    def pending_updates(self) -> int:
+        """Buffered update records not yet delivered (vDSO transport)."""
+        return getattr(self._transport, "pending_updates", 0)
+
+    # -- the paper's three calls ---------------------------------------------
+
+    def predict(self, features: Sequence[int]) -> int:
+        """Signed prediction score: ``int predict(int*, int)``."""
+        return self._transport.predict(features)
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        """Feedback: ``void update(int*, int, bool dir)``."""
+        self._transport.update(features, direction)
+
+    def reset(self, features: Sequence[int],
+              reset_all: bool = False) -> None:
+        """State wipe: ``void reset(int*, int, bool all)``."""
+        self._transport.reset(features, reset_all)
+
+    # -- conveniences ---------------------------------------------------------
+
+    def predict_bool(self, features: Sequence[int]) -> bool:
+        """True when the score clears the domain threshold."""
+        return self.predict(features) >= self._handle.threshold
+
+    def reward(self, features: Sequence[int]) -> None:
+        """``update(features, True)`` - the paper's +1 reward."""
+        self.update(features, True)
+
+    def penalize(self, features: Sequence[int]) -> None:
+        """``update(features, False)`` - the paper's -1 reward."""
+        self.update(features, False)
+
+    def flush(self) -> None:
+        """Deliver any batched updates now."""
+        self._transport.flush()
+
+    def close(self) -> None:
+        """Flush buffered updates and release the connection."""
+        self._transport.close()
+
+    def __enter__(self) -> "PSSClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

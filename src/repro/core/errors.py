@@ -1,0 +1,42 @@
+"""Exception hierarchy for the Prediction System Service.
+
+All library-specific exceptions derive from :class:`PSSError` so callers can
+catch one base class at the service boundary.  Exceptions are raised for
+programming errors (bad feature vectors, unknown domains) and for policy
+violations; they are never used for prediction outcomes, which are ordinary
+return values.
+"""
+
+from __future__ import annotations
+
+
+class PSSError(Exception):
+    """Base class for all Prediction System Service errors."""
+
+
+class ConfigError(PSSError):
+    """A configuration value is out of its documented range."""
+
+
+class FeatureError(PSSError):
+    """A feature vector is malformed (wrong length, non-integer entries)."""
+
+
+class DomainError(PSSError):
+    """A prediction domain was not found or already exists."""
+
+
+class PolicyError(PSSError):
+    """The caller is not permitted to perform the requested operation."""
+
+
+class TransportError(PSSError):
+    """A transport was used in an unsupported way (e.g. write via vDSO)."""
+
+
+class ModelError(PSSError):
+    """A predictor model violated the :class:`PredictorModel` contract."""
+
+
+class PersistenceError(PSSError):
+    """A snapshot could not be serialized or restored."""

@@ -1,0 +1,190 @@
+"""Feature preprocessing helpers used by the paper's three scenarios.
+
+Section 4.3: raw counter values are *rounded* before being fed to the
+perceptron - "the rounding keeps only the most significant figures of a given
+integer.  For example, 1234 will be rounded to 1000, 6276 will be rounded to
+6000, and 1999 will be rounded to 2000" - so the predictor can "learn common
+input and prediction patterns" instead of memorizing exact counts.
+
+Section 4.2: ratios are encoded as rounded reciprocals because "PSS only
+takes integer inputs currently", i.e. ``floor(nr_scanned / nr_reclaimed)``.
+
+Section 4.1: the per-thread transaction history is "an integer ... each bit
+represents one transaction attempt", a shift-register of outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def round_to_msf(value: int, figures: int = 1) -> int:
+    """Round ``value`` keeping only its ``figures`` most significant figures.
+
+    Rounds half away from zero, matching the paper's examples (1999 -> 2000).
+    Negative values round symmetrically; zero stays zero.
+
+    >>> round_to_msf(1234)
+    1000
+    >>> round_to_msf(6276)
+    6000
+    >>> round_to_msf(1999)
+    2000
+    """
+    if figures < 1:
+        raise ValueError(f"figures must be >= 1, got {figures}")
+    if value == 0:
+        return 0
+    sign = 1 if value > 0 else -1
+    magnitude = abs(value)
+    digits = len(str(magnitude))
+    if digits <= figures:
+        return value
+    scale = 10 ** (digits - figures)
+    # Round half away from zero.
+    rounded = (magnitude + scale // 2) // scale * scale
+    return sign * rounded
+
+
+def reciprocal_ratio(numerator: int, denominator: int,
+                     saturate_at: int = 1_000_000) -> int:
+    """Integer encoding of ``numerator/denominator`` via its reciprocal.
+
+    Returns ``floor(numerator / denominator)`` - e.g. scanned/reclaimed for
+    the page-reclaim scenario, where a *larger* value means lower reclaim
+    efficiency.  A zero denominator (nothing reclaimed: worst efficiency)
+    saturates to ``saturate_at``.
+    """
+    if numerator < 0 or denominator < 0:
+        raise ValueError("ratio inputs must be non-negative")
+    if denominator == 0:
+        return saturate_at
+    return min(numerator // denominator, saturate_at)
+
+
+class HistoryRegister:
+    """Fixed-width bit history of boolean outcomes (paper Section 4.1).
+
+    Newest outcome occupies the least-significant bit; older outcomes shift
+    left and fall off after ``bits`` entries.  ``value`` is the integer the
+    scenario passes to the predictor as a feature.
+    """
+
+    def __init__(self, bits: int = 16, initial: int = 0) -> None:
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self._bits = bits
+        self._mask = (1 << bits) - 1
+        self._value = initial & self._mask
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def value(self) -> int:
+        """Current history as an integer feature."""
+        return self._value
+
+    def push(self, outcome: bool) -> None:
+        """Record one outcome; ``True`` = success bit 1, ``False`` = 0."""
+        self._value = ((self._value << 1) | (1 if outcome else 0)) \
+            & self._mask
+
+    def success_count(self) -> int:
+        """Number of recorded successes still in the window."""
+        return bin(self._value).count("1")
+
+    def clear(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HistoryRegister(bits={self._bits}, "
+            f"value={self._value:#0{self._bits // 4 + 2}x})"
+        )
+
+
+class FeatureVector:
+    """Builder that applies the paper's preprocessing uniformly.
+
+    Collects raw values with optional rounding, producing the plain
+    ``list[int]`` the service consumes.  Keeps scenario code free of
+    repeated rounding boilerplate.
+    """
+
+    def __init__(self, rounding_figures: int = 1) -> None:
+        self._figures = rounding_figures
+        self._values: list[int] = []
+
+    def raw(self, value: int) -> "FeatureVector":
+        """Append a value without rounding (e.g. a history register)."""
+        self._values.append(int(value))
+        return self
+
+    def rounded(self, value: int) -> "FeatureVector":
+        """Append a counter value rounded to its most significant figures."""
+        self._values.append(round_to_msf(int(value), self._figures))
+        return self
+
+    def ratio(self, numerator: int, denominator: int) -> "FeatureVector":
+        """Append a reciprocal-encoded ratio feature."""
+        self._values.append(reciprocal_ratio(numerator, denominator))
+        return self
+
+    def extend_rounded(self, values: Iterable[int]) -> "FeatureVector":
+        for value in values:
+            self.rounded(value)
+        return self
+
+    def build(self) -> list[int]:
+        """The finished feature vector."""
+        return list(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def rounded_vector(values: Sequence[int], figures: int = 1) -> list[int]:
+    """Round every entry of ``values`` to its most significant figures."""
+    return [round_to_msf(int(v), figures) for v in values]
+
+
+def embed_category(value: object, buckets: int = 1 << 16) -> int:
+    """Project a categorical value into an integer feature (paper §3.2.2).
+
+    "PSS can accept categorical parameter types after some preprocessing
+    or transformation ... they can be exposed to a predictor through
+    hierarchy or projection."  This is the projection: a deterministic
+    hash of the category's string form into ``buckets`` integer values,
+    stable across processes (unlike builtin ``hash``).
+
+    >>> embed_category("GET") == embed_category("GET")
+    True
+    >>> embed_category("GET") != embed_category("POST")
+    True
+    """
+    from repro.core.hashing import mix64
+
+    if buckets < 2:
+        raise ValueError(f"buckets must be >= 2, got {buckets}")
+    state = 0xCBF29CE484222325
+    for byte in str(value).encode("utf-8"):
+        state = mix64(state ^ byte)
+    return state % buckets
+
+
+def embed_hierarchy(*levels: object, buckets: int = 1 << 16) -> list[int]:
+    """Expose a categorical hierarchy as one feature per level (§3.2.2).
+
+    Each prefix of the hierarchy gets its own embedded feature, so the
+    predictor can generalize at any level - e.g.
+    ``embed_hierarchy("api", "v2", "users")`` lets it learn patterns for
+    all of ``api``, for ``api/v2``, and for the exact endpoint.
+    """
+    features = []
+    prefix: list[str] = []
+    for level in levels:
+        prefix.append(str(level))
+        features.append(embed_category("/".join(prefix), buckets))
+    return features

@@ -1,0 +1,44 @@
+"""Feature hashing for the perceptron weight tables.
+
+Section 3.2 of the paper: "The feature data is hashed to reduce the chance of
+conflict with other features and stored in a weight matrix."  Each feature has
+its own table; the feature *value* is hashed (salted by the feature index and
+a per-domain seed) to select an entry within that table.
+
+The hash must be deterministic across processes - Python's builtin ``hash``
+is salted per interpreter run, so a small multiplicative mixer is implemented
+here instead (a 64-bit variant of the splitmix64 finalizer).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """Finalize a 64-bit value with the splitmix64 mixing function.
+
+    Produces a well-distributed 64-bit hash of ``value``.  Negative inputs
+    are mapped through two's complement so every Python int is accepted.
+    """
+    z = value & _MASK64
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def hash_feature(feature_index: int, value: int, seed: int = 0) -> int:
+    """Hash one feature value, salted by its position and a domain seed.
+
+    Salting by ``feature_index`` keeps equal values in different feature
+    slots from aliasing to correlated positions, and the domain ``seed``
+    decorrelates distinct prediction domains that share feature values.
+    """
+    salt = mix64((feature_index + 1) * 0x9E3779B97F4A7C15 + seed)
+    return mix64((value & _MASK64) ^ salt)
+
+
+def table_index(feature_index: int, value: int, entries: int,
+                seed: int = 0) -> int:
+    """Map a feature value to an entry in a table of size ``entries``."""
+    return hash_feature(feature_index, value, seed) % entries

@@ -1,0 +1,105 @@
+"""Predictor model protocol and registry (paper Section 3.2.1).
+
+"Since the system interface is not tied to the implementation, the underlying
+predictor model can be replaced easily."  Every model the service hosts
+implements :class:`PredictorModel`; the default is the hashed perceptron, and
+:mod:`repro.core.alt_models` ships lighter and heavier alternatives.
+
+Models map directly onto the three service calls:
+
+* ``predict(features) -> int`` - signed score; ``>= threshold`` is true.
+* ``update(features, direction)`` - feedback; ``True`` rewards the last
+  tendency for these features, ``False`` penalizes it.
+* ``reset(features, all)`` - selective or total state wipe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.core.config import PSSConfig
+from repro.core.errors import ModelError
+
+
+@runtime_checkable
+class PredictorModel(Protocol):
+    """Contract for pluggable prediction backends."""
+
+    config: PSSConfig
+
+    def predict(self, features: Sequence[int]) -> int:
+        """Signed score for ``features``; magnitude conveys confidence."""
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        """Apply feedback: ``True`` = reward, ``False`` = penalize."""
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None:
+        """Clear either the entry for ``features`` or all state."""
+
+    def to_state(self) -> dict:
+        """Serializable snapshot for persistence."""
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`to_state`."""
+
+
+ModelFactory = Callable[[PSSConfig], PredictorModel]
+
+_MODEL_REGISTRY: dict[str, ModelFactory] = {}
+
+
+def register_model(name: str, factory: ModelFactory) -> None:
+    """Register a model factory under ``name``.
+
+    Raises:
+        ModelError: if ``name`` is already registered.
+    """
+    if name in _MODEL_REGISTRY:
+        raise ModelError(f"model {name!r} is already registered")
+    _MODEL_REGISTRY[name] = factory
+
+
+def create_model(name: str, config: PSSConfig) -> PredictorModel:
+    """Instantiate the registered model ``name`` with ``config``."""
+    ensure_builtin_models()
+    try:
+        factory = _MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_MODEL_REGISTRY)) or "<none>"
+        raise ModelError(
+            f"unknown model {name!r}; registered models: {known}"
+        ) from None
+    return factory(config)
+
+
+def registered_models() -> tuple[str, ...]:
+    """Names of all registered models, sorted."""
+    ensure_builtin_models()
+    return tuple(sorted(_MODEL_REGISTRY))
+
+
+def _register_builtins() -> None:
+    """Register the built-in models lazily to avoid import cycles."""
+    # Imported here so models.py stays dependency-light for the protocol.
+    from repro.core import alt_models, heavy_models, perceptron
+
+    builtin: dict[str, ModelFactory] = {
+        "perceptron": perceptron.HashedPerceptron,
+        "linear": alt_models.OnlineLinearModel,
+        "naive-bayes": alt_models.NaiveBayesModel,
+        "stumps": alt_models.DecisionStumpEnsemble,
+        "always-true": alt_models.ConstantModel.always_true,
+        "always-false": alt_models.ConstantModel.always_false,
+        "majority": alt_models.MajorityModel,
+        "knn": heavy_models.KnnModel,
+        "boosted-stumps": heavy_models.BoostedStumpsModel,
+        "tiny-mlp": heavy_models.TinyMlpModel,
+    }
+    for name, factory in builtin.items():
+        if name not in _MODEL_REGISTRY:
+            _MODEL_REGISTRY[name] = factory
+
+
+def ensure_builtin_models() -> None:
+    """Idempotently register the built-in model set."""
+    _register_builtins()

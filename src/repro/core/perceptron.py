@@ -1,0 +1,81 @@
+"""The hashed perceptron predictor (paper Section 3.2).
+
+Given an input feature vector, the predictor "simply calculates the weighted
+sum of the input and compares it with a threshold value".  Each feature value
+is hashed into its own weight table; the prediction is::
+
+    score = bias + sum(table[i][hash(feature[i])] for i in range(n))
+    decision = score >= threshold          # "predict true" when non-negative
+
+Training follows the margin rule of Jimenez & Lin: weights only move when the
+prediction disagreed with the observed direction *or* the score magnitude was
+below the training margin.  The margin is the paper's guard against the
+predictor "becoming trapped in only the lock path after several failed
+predictions" - without it, saturated weights would never recover.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import PSSConfig
+from repro.core.weights import WeightMatrix
+
+
+class HashedPerceptron:
+    """Default PSS predictor: hashed perceptron with saturating weights."""
+
+    def __init__(self, config: PSSConfig) -> None:
+        self.config = config
+        self._weights = WeightMatrix(config)
+
+    @property
+    def weights(self) -> WeightMatrix:
+        """Underlying weight matrix (exposed for tests and ablations)."""
+        return self._weights
+
+    def score(self, features: Sequence[int]) -> int:
+        """Raw weighted sum; sign is the decision, magnitude confidence."""
+        return self._weights.dot(features)
+
+    def predict(self, features: Sequence[int]) -> int:
+        """Signed prediction score for ``features``.
+
+        The caller compares the result against the configured threshold;
+        :class:`repro.core.service.PredictionService` exposes the boolean
+        convenience.  Returning the raw score preserves the confidence
+        information the paper highlights for asymmetric-cost scenarios.
+        """
+        return self.score(features)
+
+    def decide(self, features: Sequence[int]) -> bool:
+        """Boolean decision: score >= threshold."""
+        return self.score(features) >= self.config.threshold
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        """Move the selected weights toward ``direction``.
+
+        ``direction=True`` means the "true" path was the right call for
+        these features (reward +1 in the paper's listings); ``False`` means
+        it was wrong (reward -1).  Training is skipped when the perceptron
+        already agreed with high confidence (margin rule), which both bounds
+        weight growth and prevents lock-in.
+        """
+        score = self.score(features)
+        agreed = (score >= self.config.threshold) == direction
+        if agreed and abs(score) > self.config.effective_margin:
+            return
+        self._weights.adjust(features, 1 if direction else -1)
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None:
+        """Selective or total reset (the paper's ``reset`` call)."""
+        if reset_all:
+            self._weights.reset_all()
+        else:
+            self._weights.reset_entry(features)
+
+    def to_state(self) -> dict:
+        return {"kind": "perceptron", "weights": self._weights.to_state()}
+
+    def load_state(self, state: dict) -> None:
+        self._weights.load_state(state["weights"])

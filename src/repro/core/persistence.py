@@ -1,0 +1,99 @@
+"""Snapshot and restore of service state (paper Section 3.3).
+
+"One of the most interesting aspects of a system-service approach to
+prediction is that learning can happen across application invocations."
+The Figure 6 experiment exercises this directly: PSS-run1 through PSS-run4
+are successive benchmark runs that inherit the previous run's weights.
+
+Snapshots are plain JSON so they are durable, diffable, and independent of
+Python pickling.  A snapshot captures, per domain: the configuration, the
+model name and model state, and (optionally) accumulated statistics.
+Policies are intentionally *not* persisted - they belong to the running
+system's security configuration, not to learned state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import PSSConfig
+from repro.core.errors import PersistenceError, PSSError
+from repro.core.service import PredictionService
+from repro.core.stats import PredictionStats
+
+#: bumped whenever the snapshot layout changes incompatibly
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_service(service: PredictionService,
+                     include_stats: bool = True) -> dict[str, Any]:
+    """Capture every domain's learned state as a JSON-serializable dict."""
+    domains: dict[str, Any] = {}
+    for name in service.domain_names():
+        domain = service.domain(name)
+        entry: dict[str, Any] = {
+            "config": dataclasses.asdict(domain.config),
+            "model_name": domain.model_name,
+            "model_state": domain.model.to_state(),
+        }
+        if include_stats:
+            entry["stats"] = dataclasses.asdict(domain.stats)
+        domains[name] = entry
+    return {"version": SNAPSHOT_VERSION, "domains": domains}
+
+
+def restore_service(service: PredictionService,
+                    snapshot: dict[str, Any]) -> None:
+    """Recreate the snapshot's domains inside ``service``.
+
+    Existing domains with matching names are replaced.  Raises
+    :class:`PersistenceError` on version or shape mismatches.
+    """
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise PersistenceError(
+            f"snapshot version {version!r} is not supported "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    try:
+        domains = snapshot["domains"]
+        for name, entry in domains.items():
+            config = PSSConfig(**entry["config"])
+            if service.has_domain(name):
+                service.remove_domain(name)
+            domain = service.create_domain(
+                name, config=config, model=entry["model_name"]
+            )
+            domain.model.load_state(entry["model_state"])
+            if "stats" in entry:
+                domain.stats = PredictionStats(**entry["stats"])
+    except PersistenceError:
+        raise
+    except (PSSError, KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed snapshot: {exc}") from exc
+
+
+def save_service(service: PredictionService, path: str | Path,
+                 include_stats: bool = True) -> None:
+    """Write a snapshot of ``service`` to ``path`` as JSON."""
+    snapshot = snapshot_service(service, include_stats=include_stats)
+    try:
+        Path(path).write_text(json.dumps(snapshot, indent=1))
+    except OSError as exc:
+        raise PersistenceError(f"cannot write snapshot: {exc}") from exc
+
+
+def load_service(service: PredictionService, path: str | Path) -> None:
+    """Restore ``service`` domains from a JSON snapshot at ``path``."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise PersistenceError(f"cannot read snapshot: {exc}") from exc
+    try:
+        snapshot = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"snapshot is not valid JSON: {exc}") from exc
+    restore_service(service, snapshot)

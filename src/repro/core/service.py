@@ -1,0 +1,223 @@
+"""The Prediction System Service itself.
+
+A :class:`PredictionService` plays the role of the in-kernel service: it owns
+named *prediction domains*, each with its own model, configuration, policy,
+and statistics.  Applications reach a domain through a
+:class:`DomainHandle` (policy-checked) wrapped in a transport, normally via
+:meth:`PredictionService.connect` which returns a ready-to-use
+:class:`repro.core.client.PSSClient`.
+
+The service API intentionally reduces to the paper's three calls::
+
+    int  predict(int* features, int len)
+    void update(int* features, int len, bool dir)
+    void reset(int* features, int len, bool all)
+
+with the domain name standing in for whatever addressing a real kernel
+implementation would use (the paper's prototype exposes a single implicit
+domain per registration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.config import PSSConfig, ServiceConfig
+from repro.core.errors import DomainError
+from repro.core.models import (
+    PredictorModel,
+    create_model,
+    ensure_builtin_models,
+)
+from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
+from repro.core.stats import DomainReport, PredictionStats
+
+
+@dataclass
+class Domain:
+    """One named predictor hosted by the service."""
+
+    name: str
+    config: PSSConfig
+    model: PredictorModel
+    model_name: str
+    policy: DomainPolicy = field(default_factory=open_policy)
+    stats: PredictionStats = field(default_factory=PredictionStats)
+
+    def predict(self, features: Sequence[int]) -> int:
+        score = self.model.predict(features)
+        self.stats.record_prediction(score, self.config.threshold)
+        return score
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        self.model.update(features, direction)
+        self.stats.record_update(direction)
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None:
+        self.model.reset(features, reset_all)
+        self.stats.record_reset()
+
+    def report(self) -> DomainReport:
+        return DomainReport(
+            name=self.name, model=self.model_name, stats=self.stats
+        )
+
+
+class DomainHandle:
+    """Policy-checked view of a domain for one client identity.
+
+    This is the object transports call into; it is what the kernel-side of
+    the vDSO/syscall boundary would dispatch to.
+    """
+
+    def __init__(self, domain: Domain, identity: ClientIdentity) -> None:
+        self._domain = domain
+        self._identity = identity
+
+    @property
+    def domain_name(self) -> str:
+        return self._domain.name
+
+    @property
+    def identity(self) -> ClientIdentity:
+        return self._identity
+
+    @property
+    def threshold(self) -> int:
+        return self._domain.config.threshold
+
+    def predict(self, features: Sequence[int]) -> int:
+        self._domain.policy.check_predict(self._identity, self._domain.name)
+        return self._domain.predict(features)
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        self._domain.policy.check_update(self._identity, self._domain.name)
+        self._domain.update(features, direction)
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None:
+        self._domain.policy.check_reset(self._identity, self._domain.name)
+        self._domain.reset(features, reset_all)
+
+
+class PredictionService:
+    """Container and dispatcher for prediction domains."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        ensure_builtin_models()
+        self.config = config or ServiceConfig()
+        self._domains: dict[str, Domain] = {}
+
+    # -- domain management -------------------------------------------------
+
+    def create_domain(self, name: str,
+                      config: PSSConfig | None = None,
+                      model: str = "perceptron",
+                      policy: DomainPolicy | None = None) -> Domain:
+        """Register a new prediction domain.
+
+        Raises:
+            DomainError: if the name is taken or the service is full.
+        """
+        if name in self._domains:
+            raise DomainError(f"domain {name!r} already exists")
+        if len(self._domains) >= self.config.max_domains:
+            raise DomainError(
+                f"service is full ({self.config.max_domains} domains)"
+            )
+        domain_config = config or PSSConfig()
+        domain = Domain(
+            name=name,
+            config=domain_config,
+            model=create_model(model, domain_config),
+            model_name=model,
+            policy=policy or open_policy(),
+        )
+        self._domains[name] = domain
+        return domain
+
+    def domain(self, name: str) -> Domain:
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise DomainError(f"unknown domain {name!r}") from None
+
+    def has_domain(self, name: str) -> bool:
+        return name in self._domains
+
+    def remove_domain(self, name: str) -> None:
+        if name not in self._domains:
+            raise DomainError(f"unknown domain {name!r}")
+        del self._domains[name]
+
+    def domain_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._domains))
+
+    def _resolve(self, name: str, config: PSSConfig | None,
+                 model: str) -> Domain:
+        """Find a domain, creating it implicitly when configured to."""
+        if name in self._domains:
+            return self._domains[name]
+        if not self.config.implicit_domains:
+            raise DomainError(f"unknown domain {name!r}")
+        return self.create_domain(name, config=config, model=model)
+
+    # -- client access -----------------------------------------------------
+
+    def handle(self, name: str,
+               identity: ClientIdentity | None = None,
+               config: PSSConfig | None = None,
+               model: str = "perceptron") -> DomainHandle:
+        """Policy-checked handle on a (possibly implicitly created) domain."""
+        domain = self._resolve(name, config, model)
+        return DomainHandle(domain, identity or ClientIdentity())
+
+    def connect(self, name: str,
+                identity: ClientIdentity | None = None,
+                transport: str = "vdso",
+                config: PSSConfig | None = None,
+                model: str = "perceptron",
+                batch_size: int | None = None):
+        """Open a :class:`repro.core.client.PSSClient` on a domain.
+
+        This is the normal entry point for applications: it wires the
+        policy-checked handle through the requested transport (vDSO by
+        default, matching the paper's deployment).
+        """
+        # Local import: client builds on service, not the other way around.
+        from repro.core.client import PSSClient
+
+        domain = self._resolve(name, config, model)
+        handle = DomainHandle(domain, identity or ClientIdentity())
+        effective_batch = (batch_size if batch_size is not None
+                           else domain.config.update_batch_size)
+        return PSSClient(
+            handle,
+            transport_kind=transport,
+            latency=self.config.latency,
+            batch_size=effective_batch,
+        )
+
+    # -- paper-signature convenience (kernel-internal callers) --------------
+
+    def predict(self, name: str, features: Sequence[int]) -> int:
+        """Direct in-kernel predict; no transport latency is charged."""
+        return self.domain(name).predict(features)
+
+    def update(self, name: str, features: Sequence[int],
+               direction: bool) -> None:
+        """Direct in-kernel update."""
+        self.domain(name).update(features, direction)
+
+    def reset(self, name: str, features: Sequence[int],
+              reset_all: bool = False) -> None:
+        """Direct in-kernel reset."""
+        self.domain(name).reset(features, reset_all)
+
+    # -- introspection -------------------------------------------------------
+
+    def reports(self) -> list[DomainReport]:
+        """Per-domain activity reports, sorted by domain name."""
+        return [
+            self._domains[name].report() for name in self.domain_names()
+        ]

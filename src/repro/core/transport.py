@@ -1,0 +1,183 @@
+"""Transports: how a client crosses into the service (paper Section 3.3).
+
+The paper's key latency observation is that predictions can be served
+read-only through a vDSO mapping (4.19 ns) while updates must cross via a
+syscall (68 ns), and that pooling updates into batches "amortizes the
+boundary crossing".  This module reproduces that cost structure with a
+simulated-nanosecond account so experiments can compare:
+
+* :class:`SyscallTransport` - every operation pays the syscall cost
+  (the paper's "PSS-syscall" configuration in Figure 5).
+* :class:`VdsoTransport`    - predictions pay only the vDSO read cost;
+  updates are pooled in a :class:`BatchUpdateBuffer` and flushed as one
+  syscall per batch (the paper's default "PSS" configuration).
+
+Transports do not interpret features or results; they only move calls and
+charge time.  The wrapped target is any object with the service's
+``predict``/``update``/``reset`` signature, normally a
+:class:`repro.core.service.DomainHandle`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.config import LatencyModel
+from repro.core.errors import TransportError
+from repro.core.stats import LatencyAccount
+
+
+class ServiceTarget(Protocol):
+    """What a transport needs from the service side."""
+
+    def predict(self, features: Sequence[int]) -> int: ...
+
+    def update(self, features: Sequence[int], direction: bool) -> None: ...
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None: ...
+
+
+class Transport:
+    """Base transport: owns the latency model and account."""
+
+    #: human-readable name used in reports ("vdso" / "syscall")
+    name = "base"
+
+    def __init__(self, target: ServiceTarget,
+                 latency: LatencyModel | None = None,
+                 account: LatencyAccount | None = None) -> None:
+        self._target = target
+        self._latency = latency or LatencyModel()
+        self.account = account or LatencyAccount()
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    def predict(self, features: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        raise NotImplementedError
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None:
+        """Resets always cross via syscall: they write kernel state."""
+        self.account.charge_syscall(self._latency.syscall_ns)
+        self.flush()
+        self._target.reset(features, reset_all)
+
+    def flush(self) -> None:
+        """Deliver any buffered updates (no-op for unbuffered transports)."""
+
+    def close(self) -> None:
+        """Flush and detach; further use is a programming error."""
+        self.flush()
+
+
+class SyscallTransport(Transport):
+    """Every predict/update is an individual syscall.
+
+    This is the paper's ablation point: correct but slow, because the
+    prediction sits on the application's critical path.
+    """
+
+    name = "syscall"
+
+    def predict(self, features: Sequence[int]) -> int:
+        self.account.charge_syscall(self._latency.syscall_ns)
+        return self._target.predict(features)
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        self.account.charge_syscall(self._latency.syscall_ns, records=1)
+        self._target.update(features, direction)
+
+
+class BatchUpdateBuffer:
+    """Local pool of pending update records (paper Section 3.3).
+
+    "A local buffer aggregates updates and allows us to amortize the
+    boundary crossing."  Records are (features, direction) tuples; a flush
+    delivers them in arrival order in one simulated syscall.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise TransportError(
+                f"batch capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self._records: list[tuple[tuple[int, ...], bool]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def full(self) -> bool:
+        return len(self._records) >= self.capacity
+
+    def add(self, features: Sequence[int], direction: bool) -> None:
+        if self.full:
+            raise TransportError("buffer full; flush before adding")
+        self._records.append((tuple(features), direction))
+
+    def drain(self) -> list[tuple[tuple[int, ...], bool]]:
+        records, self._records = self._records, []
+        return records
+
+
+class VdsoTransport(Transport):
+    """Read-only vDSO fast path for predictions, batched syscall updates.
+
+    A vDSO "can be only used in a read-only manner", so ``predict`` is a
+    direct memory read at vDSO cost, while ``update`` records are pooled
+    and flushed once the batch fills (or on an explicit :meth:`flush`).
+
+    Note the behavioural consequence the paper accepts: between flushes the
+    model has not yet seen the buffered feedback, so learning lags by up to
+    ``batch_size`` updates.  The transport ablation benchmark measures this
+    latency/freshness trade-off.
+    """
+
+    name = "vdso"
+
+    def __init__(self, target: ServiceTarget,
+                 latency: LatencyModel | None = None,
+                 account: LatencyAccount | None = None,
+                 batch_size: int = 32) -> None:
+        super().__init__(target, latency, account)
+        self._buffer = BatchUpdateBuffer(batch_size)
+
+    @property
+    def pending_updates(self) -> int:
+        """Updates buffered but not yet delivered to the service."""
+        return len(self._buffer)
+
+    def predict(self, features: Sequence[int]) -> int:
+        self.account.charge_vdso(self._latency.vdso_predict_ns)
+        return self._target.predict(features)
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        self._buffer.add(features, direction)
+        if self._buffer.full:
+            self.flush()
+
+    def flush(self) -> None:
+        records = self._buffer.drain()
+        if not records:
+            return
+        cost = (self._latency.syscall_ns
+                + self._latency.batch_record_ns * len(records))
+        self.account.charge_syscall(cost, records=len(records))
+        for features, direction in records:
+            self._target.update(features, direction)
+
+
+def make_transport(kind: str, target: ServiceTarget,
+                   latency: LatencyModel | None = None,
+                   batch_size: int = 32) -> Transport:
+    """Factory mapping a config string to a transport instance."""
+    if kind == "vdso":
+        return VdsoTransport(target, latency, batch_size=batch_size)
+    if kind == "syscall":
+        return SyscallTransport(target, latency)
+    raise TransportError(f"unknown transport kind {kind!r}")

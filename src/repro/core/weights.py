@@ -1,0 +1,147 @@
+"""Saturating weight storage for the hashed perceptron.
+
+A :class:`WeightMatrix` is the paper's "weight matrix": one row per feature,
+``entries_per_feature`` columns, plus a single bias weight.  Weights saturate
+at the configured bit width rather than wrapping, matching hardware-style
+perceptron tables (Jimenez & Lin).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.config import PSSConfig
+from repro.core.errors import FeatureError
+from repro.core.hashing import table_index
+
+
+def saturate(value: int, lo: int, hi: int) -> int:
+    """Clamp ``value`` into the inclusive range ``[lo, hi]``."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+class WeightMatrix:
+    """Per-feature hashed weight tables with saturating arithmetic.
+
+    The matrix is deliberately plain: a list of lists of ints, a bias, and
+    the index arithmetic to go from a feature vector to the selected cells.
+    Every model-level behaviour (thresholds, training policy) lives in
+    :mod:`repro.core.perceptron`.
+    """
+
+    def __init__(self, config: PSSConfig) -> None:
+        self._config = config
+        self._rows = [
+            [0] * config.entries_per_feature
+            for _ in range(config.num_features)
+        ]
+        self._bias = 0
+
+    @property
+    def config(self) -> PSSConfig:
+        return self._config
+
+    @property
+    def bias(self) -> int:
+        return self._bias
+
+    def _check_features(self, features: Iterable[int]) -> list[int]:
+        feats = list(features)
+        if len(feats) != self._config.num_features:
+            raise FeatureError(
+                f"expected {self._config.num_features} features, "
+                f"got {len(feats)}"
+            )
+        for value in feats:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise FeatureError(
+                    f"features must be ints, got {value!r}"
+                )
+        return feats
+
+    def indices(self, features: Iterable[int]) -> list[int]:
+        """Hashed column index selected by each feature value."""
+        feats = self._check_features(features)
+        entries = self._config.entries_per_feature
+        seed = self._config.seed
+        return [
+            table_index(i, value, entries, seed)
+            for i, value in enumerate(feats)
+        ]
+
+    def selected(self, features: Iterable[int]) -> list[int]:
+        """Weights selected by a feature vector (excluding the bias)."""
+        return [
+            self._rows[row][col]
+            for row, col in enumerate(self.indices(features))
+        ]
+
+    def dot(self, features: Iterable[int]) -> int:
+        """Bias plus the sum of the selected weights.
+
+        This is the perceptron output the service returns from ``predict``:
+        its sign is the decision, its magnitude the confidence.
+        """
+        return self._bias + sum(self.selected(features))
+
+    def adjust(self, features: Iterable[int], delta: int) -> None:
+        """Add ``delta`` to every selected weight and the bias, saturating."""
+        lo, hi = self._config.weight_min, self._config.weight_max
+        for row, col in enumerate(self.indices(features)):
+            self._rows[row][col] = saturate(
+                self._rows[row][col] + delta, lo, hi
+            )
+        self._bias = saturate(self._bias + delta, lo, hi)
+
+    def reset_entry(self, features: Iterable[int]) -> None:
+        """Zero only the cells selected by ``features`` (selective reset).
+
+        Implements the paper's ``reset(features, len, all=False)``: "clean a
+        specific entry" so part of the state can be reused.
+        """
+        for row, col in enumerate(self.indices(features)):
+            self._rows[row][col] = 0
+
+    def reset_all(self) -> None:
+        """Zero every weight and the bias (``reset(..., all=True)``)."""
+        for row in self._rows:
+            for col in range(len(row)):
+                row[col] = 0
+        self._bias = 0
+
+    def nonzero_count(self) -> int:
+        """Number of non-zero weights (bias included); used by tests."""
+        count = 1 if self._bias else 0
+        for row in self._rows:
+            count += sum(1 for w in row if w)
+        return count
+
+    def iter_weights(self) -> Iterator[int]:
+        """Yield every weight, bias last (stable order for snapshots)."""
+        for row in self._rows:
+            yield from row
+        yield self._bias
+
+    def to_state(self) -> dict:
+        """Serializable snapshot of the matrix."""
+        return {
+            "rows": [list(row) for row in self._rows],
+            "bias": self._bias,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`to_state`."""
+        rows = state["rows"]
+        if len(rows) != len(self._rows) or any(
+            len(row) != self._config.entries_per_feature for row in rows
+        ):
+            raise FeatureError("snapshot shape does not match configuration")
+        lo, hi = self._config.weight_min, self._config.weight_max
+        self._rows = [
+            [saturate(int(w), lo, hi) for w in row] for row in rows
+        ]
+        self._bias = saturate(int(state["bias"]), lo, hi)

@@ -1,0 +1,60 @@
+"""Hardware lock elision scenario (paper Section 4.1 / Figure 2).
+
+A simulated best-effort HTM (:mod:`repro.htm.machine`), elidable locks,
+three elision policies (vanilla fixed-retry, HTMBench-like profiled, and
+PSS-guided), and the STAMP-like workload suite with its runner.
+"""
+
+from repro.htm.elision import (
+    ElisionPolicy,
+    FixedRetryElision,
+    LockOnlyPolicy,
+    MAX_RETRIES,
+    PolicyStats,
+    ProfiledElision,
+    PSSElision,
+    SectionOutcome,
+)
+from repro.htm.locks import ElidableLock
+from repro.htm.machine import HTMConfig, HTMMachine, TxResult
+from repro.htm.runner import (
+    ComparisonRow,
+    RunResult,
+    build_profile_plan,
+    compare_policies,
+    improvement_over,
+    lock_only_builder,
+    profiled_builder,
+    pss_builder,
+    run_workload,
+    vanilla_builder,
+)
+from repro.htm.txn import AbortCode, TxAttemptShape, TxStats
+
+__all__ = [
+    "ElisionPolicy",
+    "FixedRetryElision",
+    "LockOnlyPolicy",
+    "MAX_RETRIES",
+    "PolicyStats",
+    "ProfiledElision",
+    "PSSElision",
+    "SectionOutcome",
+    "ElidableLock",
+    "HTMConfig",
+    "HTMMachine",
+    "TxResult",
+    "ComparisonRow",
+    "RunResult",
+    "build_profile_plan",
+    "compare_policies",
+    "improvement_over",
+    "lock_only_builder",
+    "profiled_builder",
+    "pss_builder",
+    "run_workload",
+    "vanilla_builder",
+    "AbortCode",
+    "TxAttemptShape",
+    "TxStats",
+]

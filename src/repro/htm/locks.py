@@ -1,0 +1,92 @@
+"""Elidable locks: a simulated mutex wired to the HTM machine.
+
+Acquiring the lock on the slow path must abort every transaction currently
+eliding it (they subscribed to the lock word).  :class:`ElidableLock` wraps
+:class:`repro.sim.resources.SimMutex` with exactly that notification.
+"""
+
+from __future__ import annotations
+
+from repro.htm.machine import HTMMachine
+from repro.sim.engine import Engine
+from repro.sim.resources import SimMutex, SimSemaphore
+
+#: granularity of the spin loop while waiting for the lock word to clear
+SPIN_STEP_NS = 25.0
+
+#: cost of an uncontended lock acquire + release (atomic RMW pair); paid
+#: inside the critical section, so contended locks also serialize it
+LOCK_OVERHEAD_NS = 40.0
+
+
+class ElidableLock:
+    """A lock that transactions may elide.
+
+    ``lock()``/``unlock()`` are the pessimistic slow path; eliding callers
+    pass ``self.mutex`` to :meth:`HTMMachine.run_transaction` so lock
+    acquisitions invalidate them.
+    """
+
+    def __init__(self, engine: Engine, machine: HTMMachine,
+                 name: str = "elock",
+                 cpu: SimSemaphore | None = None) -> None:
+        self._engine = engine
+        self._machine = machine
+        self.name = name
+        self.mutex = SimMutex(engine, name=name)
+        # When a core model is attached, a thread blocking on the mutex
+        # yields its hardware context (like a futex sleep), whereas
+        # spinning and transactional retries keep occupying one - the
+        # asymmetry that makes wasted speculation expensive under load.
+        self._cpu = cpu
+        #: slow-path acquisitions (for reports)
+        self.slow_acquires = 0
+        #: threads currently spinning on the lock word; their coherence
+        #: traffic slows whoever holds the lock (see contention_stretch)
+        self.spinners = 0
+
+    @property
+    def is_locked(self) -> bool:
+        return self.mutex.is_locked
+
+    def lock(self):
+        """Generator: blocking slow-path acquire (aborts eliders).
+
+        With a core model attached, a blocked thread releases its core
+        while it waits and re-acquires one before running the critical
+        section.
+        """
+        if self._cpu is not None and self.mutex.is_locked:
+            self._cpu.release()
+            yield self.mutex.acquire()
+            # Re-acquire with priority: spinners waiting for *this* lock
+            # hold cores, so queueing behind them would deadlock.
+            yield self._cpu.acquire_front()
+        else:
+            yield self.mutex.acquire()
+        self.slow_acquires += 1
+        self._machine.notify_lock_acquired(self.mutex)
+        yield LOCK_OVERHEAD_NS
+
+    def unlock(self) -> None:
+        self.mutex.release()
+
+    def spin_while_locked(self, max_spin_ns: float = 5000.0):
+        """Generator: spin until the lock word clears (Listing 1, line 5).
+
+        Spins with exponential backoff.  ``max_spin_ns`` bounds
+        pathological waits (under FIFO handoff a contended lock may never
+        appear free); the protocol stays correct because a still-held lock
+        just explicit-aborts the subsequent transaction, which then falls
+        back to queueing on the lock.
+        """
+        waited = 0.0
+        step = SPIN_STEP_NS
+        self.spinners += 1
+        try:
+            while self.mutex.is_locked and waited < max_spin_ns:
+                yield step
+                waited += step
+                step = min(step * 2, 1600.0)
+        finally:
+            self.spinners -= 1

@@ -1,0 +1,70 @@
+"""The STAMP-like workload suite (paper Table 2).
+
+Exposes the nine profiles used in Figure 2 and a registry keyed by the
+names the paper uses.
+"""
+
+from repro.htm.stamp.base import (
+    Phase,
+    WorkloadInstance,
+    WorkloadProfile,
+)
+from repro.htm.stamp import (
+    genome,
+    intruder,
+    kmeans,
+    labyrinth,
+    ssca2,
+    vacation,
+    yada,
+)
+
+#: paper Table 2 plus the low/high variants plotted in Figure 2
+PROFILES: dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for profile in (
+        genome.PROFILE,
+        ssca2.PROFILE,
+        labyrinth.PROFILE,
+        intruder.PROFILE,
+        kmeans.LOW_PROFILE,
+        kmeans.HIGH_PROFILE,
+        vacation.LOW_PROFILE,
+        vacation.HIGH_PROFILE,
+        yada.PROFILE,
+    )
+}
+
+#: plot order of Figure 2 subfigures (a) through (i)
+FIGURE2_ORDER = (
+    "genome",
+    "ssca2",
+    "labyrinth",
+    "intruder",
+    "kmeans-low",
+    "kmeans-high",
+    "vacation-low",
+    "vacation-high",
+    "yada",
+)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by its paper name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(
+            f"unknown STAMP workload {name!r}; available: {known}"
+        ) from None
+
+
+__all__ = [
+    "Phase",
+    "WorkloadInstance",
+    "WorkloadProfile",
+    "PROFILES",
+    "FIGURE2_ORDER",
+    "get_profile",
+]

@@ -1,0 +1,175 @@
+"""Workload-profile machinery for the STAMP-like benchmark suite.
+
+Each STAMP application is described by a :class:`WorkloadProfile` capturing
+the transactional characteristics that matter for lock elision (the same
+axes the STAMP paper characterizes): critical-section length, read/write
+footprint, contention span (how concentrated accesses are), capacity-
+overflow behaviour, unsupported-instruction frequency, and phase behaviour
+(contention changing over the run, which is what gives an *online* predictor
+an edge over a static profile).
+
+A :class:`WorkloadInstance` binds a profile to a thread count and seed and
+samples concrete :class:`TxAttemptShape` values deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.htm.txn import TxAttemptShape
+from repro.sim.rng import RngStreams
+
+#: address-space separation between critical sections (disjoint regions)
+SECTION_REGION_STRIDE = 1 << 20
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A contention phase: until ``until_fraction`` of a thread's
+    iterations, scale the contention span by ``span_scale`` (smaller span
+    means hotter data and more conflicts)."""
+
+    until_fraction: float
+    span_scale: float
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Transactional characterization of one STAMP application."""
+
+    name: str
+    description: str
+    #: number of distinct elidable locks / critical sections
+    sections: int
+    #: total critical-section executions across all threads
+    total_iterations: int
+    #: mean simulated ns inside a critical section
+    tx_mean_ns: float
+    #: coefficient of variation of the section duration
+    tx_cv: float
+    #: mean simulated ns between critical sections
+    non_tx_mean_ns: float
+    #: mean distinct cache lines read / written per section
+    read_lines_mean: int
+    write_lines_mean: int
+    #: size of the per-section hot region in cache lines
+    shared_span: int
+    #: probability an execution path hits an HTM-unsupported instruction
+    unsupported_prob: float = 0.0
+    #: probability of a capacity-busting footprint (heavy tail)
+    capacity_tail_prob: float = 0.0
+    #: footprint multiplier applied on a capacity-tail sample
+    capacity_tail_scale: float = 6.0
+    #: probability of *staying* in the capacity tail once entered; values
+    #: above zero make blowups bursty (e.g. yada's cascading cavity
+    #: refinements), which turns them into a learnable signal
+    capacity_tail_burst: float = 0.0
+    #: contention phases over a thread's iteration stream
+    phases: tuple[Phase, ...] = (Phase(1.0, 1.0),)
+    #: per-section span multipliers; sections are heterogeneous in real
+    #: applications (a global counter vs a wide table).  Values < 1 make a
+    #: section hotter.  Cycled when shorter than ``sections``.
+    section_heat: tuple[float, ...] = (1.0,)
+    #: relative probability of entering each section (cycled/normalized);
+    #: real applications concentrate most entries on one or two locks
+    section_weights: tuple[float, ...] = (1.0,)
+
+    def span_at(self, progress: float, section_id: int = 0) -> int:
+        """Contention span for ``section_id`` at ``progress`` in [0, 1]."""
+        heat = self.section_heat[section_id % len(self.section_heat)]
+        for phase in self.phases:
+            if progress <= phase.until_fraction:
+                return max(4, int(self.shared_span * phase.span_scale
+                                  * heat))
+        return max(4, int(self.shared_span * heat))
+
+    def iterations_per_thread(self, threads: int) -> int:
+        """Fixed total work divided across threads (strong scaling)."""
+        return max(1, self.total_iterations // threads)
+
+
+class WorkloadInstance:
+    """A profile bound to a seed: deterministic shape/section sampling."""
+
+    def __init__(self, profile: WorkloadProfile, threads: int,
+                 seed: int = 0) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.profile = profile
+        self.threads = threads
+        self._streams = RngStreams(seed)
+        self.iterations = profile.iterations_per_thread(threads)
+        # Markov state for bursty capacity tails, per thread.
+        self._in_tail: dict[int, bool] = {}
+
+    def _rng(self, thread_id: int):
+        return self._streams.stream(f"{self.profile.name}/t{thread_id}")
+
+    def non_tx_work(self, thread_id: int) -> float:
+        """Simulated ns of work outside the next critical section."""
+        rng = self._rng(thread_id)
+        mean = self.profile.non_tx_mean_ns
+        return max(10.0, rng.gauss(mean, 0.2 * mean))
+
+    def pick_section(self, thread_id: int) -> int:
+        """Choose which critical section the thread enters next."""
+        profile = self.profile
+        weights = [
+            profile.section_weights[i % len(profile.section_weights)]
+            for i in range(profile.sections)
+        ]
+        return self._rng(thread_id).choices(
+            range(profile.sections), weights=weights
+        )[0]
+
+    def sample_shape(self, thread_id: int, section_id: int,
+                     iteration: int) -> TxAttemptShape:
+        """Sample a concrete critical-section execution.
+
+        Read/write sets are contiguous runs at random offsets inside the
+        section's hot region: overlap probability then scales with
+        (run lengths / span), i.e. with contention, and shrinking the span
+        in a hot phase raises the conflict rate exactly as intended.
+        """
+        profile = self.profile
+        rng = self._rng(thread_id)
+
+        progress = iteration / max(1, self.iterations)
+        span = profile.span_at(progress, section_id)
+        base = section_id * SECTION_REGION_STRIDE
+
+        duration = max(
+            30.0,
+            rng.gauss(profile.tx_mean_ns, profile.tx_cv * profile.tx_mean_ns),
+        )
+
+        scale = 1.0
+        if profile.capacity_tail_prob:
+            if self._in_tail.get(thread_id, False):
+                in_tail = rng.random() < profile.capacity_tail_burst
+            else:
+                in_tail = rng.random() < profile.capacity_tail_prob
+            self._in_tail[thread_id] = in_tail
+            if in_tail:
+                scale = profile.capacity_tail_scale
+                duration *= 1.5  # big-footprint paths also run longer
+
+        n_reads = max(1, int(rng.gauss(profile.read_lines_mean * scale,
+                                       0.3 * profile.read_lines_mean)))
+        n_writes = max(1, int(rng.gauss(profile.write_lines_mean * scale,
+                                        0.3 * profile.write_lines_mean)))
+
+        read_start = base + rng.randrange(span)
+        write_start = base + rng.randrange(span)
+        read_lines = frozenset(range(read_start, read_start + n_reads))
+        write_lines = frozenset(range(write_start, write_start + n_writes))
+
+        unsupported = (profile.unsupported_prob > 0
+                       and rng.random() < profile.unsupported_prob)
+
+        return TxAttemptShape(
+            read_lines=read_lines,
+            write_lines=write_lines,
+            duration_ns=duration,
+            unsupported=unsupported,
+        )

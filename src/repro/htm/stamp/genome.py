@@ -1,0 +1,32 @@
+"""STAMP *genome*: gene sequencing.
+
+Characterization (STAMP): moderate transaction lengths, moderate contention
+that *changes over the run* - the segment-matching phase hammers a shared
+hash table (hot) while the later reconstruction phase touches mostly
+disjoint entries (cool).  That phase shift is why the paper's Figure 2a
+shows PSS beating even the statically profiled HTMBench configuration at
+high thread counts: a static plan must average over both phases.
+"""
+
+from __future__ import annotations
+
+from repro.htm.stamp.base import Phase, WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="genome",
+    description="Gene sequencing",
+    sections=3,
+    total_iterations=1600,
+    tx_mean_ns=800.0,
+    tx_cv=0.35,
+    non_tx_mean_ns=2600.0,
+    read_lines_mean=10,
+    write_lines_mean=6,
+    shared_span=768,
+    unsupported_prob=0.002,
+    section_weights=(0.7, 0.2, 0.1),
+    phases=(
+        Phase(until_fraction=0.25, span_scale=0.02),  # hot hashing phase
+        Phase(until_fraction=1.0, span_scale=3.0),    # cool rebuild phase
+    ),
+)

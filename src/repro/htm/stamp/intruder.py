@@ -1,0 +1,32 @@
+"""STAMP *intruder*: network intrusion detection.
+
+Characterization (STAMP): short transactions on two highly contended
+shared queues plus a self-balancing tree - high conflict rates that grow
+quickly with thread count.  Fixed-retry elision wastes several aborted
+attempts per section under load; adaptive policies win by falling back
+early when the queues are hot (paper Figure 2d shows up to ~80%).
+"""
+
+from __future__ import annotations
+
+from repro.htm.stamp.base import Phase, WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="intruder",
+    description="Network intrusion detection",
+    sections=3,
+    total_iterations=1800,
+    tx_mean_ns=400.0,
+    tx_cv=0.4,
+    non_tx_mean_ns=1820.0,
+    read_lines_mean=8,
+    write_lines_mean=5,
+    shared_span=1024,
+    unsupported_prob=0.001,
+    section_weights=(0.75, 0.15, 0.10),
+    section_heat=(1.0, 0.05, 1.0),  # one hot queue among the structures
+    phases=(
+        Phase(until_fraction=0.6, span_scale=0.7),
+        Phase(until_fraction=1.0, span_scale=1.0),
+    ),
+)

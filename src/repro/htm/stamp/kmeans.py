@@ -1,0 +1,41 @@
+"""STAMP *kmeans*: k-means clustering, low- and high-contention variants.
+
+Characterization (STAMP): short-to-medium transactions updating cluster
+centroids.  The "low" variant uses many clusters (updates spread out,
+little conflict); the "high" variant uses few clusters so most updates
+collide.  The paper's Figures 2e/2f show modest gains for low contention
+and larger gains for high, with a small PSS slowdown at one thread
+(prediction overhead with nothing to predict).
+"""
+
+from __future__ import annotations
+
+from repro.htm.stamp.base import WorkloadProfile
+
+LOW_PROFILE = WorkloadProfile(
+    name="kmeans-low",
+    description="K-means clustering (low contention)",
+    sections=2,
+    total_iterations=1600,
+    tx_mean_ns=500.0,
+    tx_cv=0.3,
+    non_tx_mean_ns=2700.0,
+    read_lines_mean=6,
+    write_lines_mean=3,
+    shared_span=2048,
+    section_weights=(0.6, 0.4),
+)
+
+HIGH_PROFILE = WorkloadProfile(
+    name="kmeans-high",
+    description="K-means clustering (high contention)",
+    sections=1,
+    total_iterations=1600,
+    tx_mean_ns=500.0,
+    tx_cv=0.3,
+    non_tx_mean_ns=3780.0,
+    read_lines_mean=6,
+    write_lines_mean=4,
+    shared_span=64,
+    section_weights=(1.0,),
+)

@@ -1,0 +1,27 @@
+"""STAMP *labyrinth*: maze routing.
+
+Characterization (STAMP): very long transactions copying the entire grid
+into a thread-local buffer - read/write footprints far beyond any
+best-effort HTM's capacity.  Every transactional attempt dies with a
+capacity abort, so lock elision can never win; the best any policy can do
+is stop trying quickly.  The paper's Figure 2c accordingly shows changes
+within about one percent of baseline for everyone.
+"""
+
+from __future__ import annotations
+
+from repro.htm.stamp.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="labyrinth",
+    description="Maze routing",
+    sections=2,
+    total_iterations=260,
+    tx_mean_ns=30_000.0,
+    tx_cv=0.3,
+    non_tx_mean_ns=9_000.0,
+    read_lines_mean=520,
+    write_lines_mean=460,
+    shared_span=4096,
+    section_weights=(0.7, 0.3),
+)

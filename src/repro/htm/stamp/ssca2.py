@@ -1,0 +1,27 @@
+"""STAMP *SSCA2*: scalable graph kernel.
+
+Characterization (STAMP): very short transactions, tiny read/write sets,
+and low contention (adjacency-list appends spread across a large graph).
+Transactions almost always commit, so every elision policy does well; the
+win over the lock baseline comes purely from removing serialization, and
+there is little for a predictor to learn - PSS should track HTMBench
+closely (paper Figure 2b).
+"""
+
+from __future__ import annotations
+
+from repro.htm.stamp.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="ssca2",
+    description="Graph kernel",
+    sections=2,
+    total_iterations=2400,
+    tx_mean_ns=150.0,
+    tx_cv=0.25,
+    non_tx_mean_ns=820.0,
+    read_lines_mean=3,
+    write_lines_mean=2,
+    shared_span=8192,
+    section_weights=(0.8, 0.2),
+)

@@ -1,0 +1,46 @@
+"""STAMP *vacation*: travel reservation system, low/high contention.
+
+Characterization (STAMP): medium-length transactions over an in-memory
+reservation database (trees of customers/flights/rooms/cars).  The "high"
+variant issues larger queries over a smaller table fraction, raising both
+footprint and conflict probability.  Elision wins are large in both
+variants (paper Figures 2g/2h approach 80-90% at 16 threads) because the
+lock otherwise serializes long sections that rarely truly conflict at low
+thread counts but need adaptive backoff at high ones.
+"""
+
+from __future__ import annotations
+
+from repro.htm.stamp.base import Phase, WorkloadProfile
+
+LOW_PROFILE = WorkloadProfile(
+    name="vacation-low",
+    description="Travel reservation system (low contention)",
+    sections=2,
+    total_iterations=1400,
+    tx_mean_ns=1200.0,
+    tx_cv=0.35,
+    non_tx_mean_ns=4390.0,
+    read_lines_mean=20,
+    write_lines_mean=8,
+    shared_span=4096,
+    section_weights=(0.7, 0.3),
+)
+
+HIGH_PROFILE = WorkloadProfile(
+    name="vacation-high",
+    description="Travel reservation system (high contention)",
+    sections=2,
+    total_iterations=1400,
+    tx_mean_ns=1300.0,
+    tx_cv=0.35,
+    non_tx_mean_ns=4740.0,
+    read_lines_mean=30,
+    write_lines_mean=12,
+    shared_span=2048,
+    section_weights=(0.7, 0.3),
+    phases=(
+        Phase(until_fraction=0.5, span_scale=0.5),
+        Phase(until_fraction=1.0, span_scale=1.2),
+    ),
+)

@@ -1,0 +1,29 @@
+"""STAMP *yada*: Delaunay mesh refinement.
+
+Characterization (STAMP): long transactions with large, *variable*
+read/write sets - a cavity re-triangulation can balloon past HTM capacity
+on a heavy tail of the work distribution.  A predictor that learns which
+history patterns precede capacity blowups can skip doomed speculation,
+which is where PSS picks up its Figure 2i advantage.
+"""
+
+from __future__ import annotations
+
+from repro.htm.stamp.base import WorkloadProfile
+
+PROFILE = WorkloadProfile(
+    name="yada",
+    description="Delaunay mesh refinement",
+    sections=2,
+    total_iterations=800,
+    tx_mean_ns=2500.0,
+    tx_cv=0.4,
+    non_tx_mean_ns=9_600.0,
+    read_lines_mean=60,
+    write_lines_mean=40,
+    shared_span=2048,
+    capacity_tail_prob=0.03,
+    capacity_tail_scale=6.0,
+    capacity_tail_burst=0.80,  # refinement cascades keep footprints big
+    section_weights=(0.6, 0.4),
+)

@@ -1,0 +1,86 @@
+"""Transaction descriptors, abort codes, and statistics for the HTM machine.
+
+Abort codes mirror the failure classes the paper lists for `tx_begin()`:
+"Any failure due to conflict, capacity, explicit abort, or unsupported
+instruction, will cause the tx_begin() to return a non-success return code."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AbortCode(enum.Enum):
+    """Why a hardware transaction failed."""
+
+    #: another transaction or the lock word invalidated a tracked line
+    CONFLICT = "conflict"
+    #: read/write footprint exceeded the HTM implementation's capacity
+    CAPACITY = "capacity"
+    #: software issued tx_abort() (e.g. the elided lock was observed held)
+    EXPLICIT = "explicit"
+    #: the execution path used an instruction HTM cannot speculate through
+    UNSUPPORTED = "unsupported"
+
+
+#: abort classes that retrying cannot fix for the same attempt shape
+PERSISTENT_ABORTS = frozenset({AbortCode.CAPACITY, AbortCode.UNSUPPORTED})
+
+
+@dataclass
+class TxAttemptShape:
+    """One sampled critical-section execution, as the workload generates it.
+
+    The same shape is executed regardless of path: under HTM it defines the
+    transaction's footprint and duration; under the lock it defines the
+    critical-section duration.
+    """
+
+    #: cache lines read inside the section
+    read_lines: frozenset[int]
+    #: cache lines written inside the section
+    write_lines: frozenset[int]
+    #: simulated ns of work inside the section
+    duration_ns: float
+    #: whether this path executes an HTM-unsupported instruction
+    unsupported: bool = False
+
+    @property
+    def footprint(self) -> int:
+        """Distinct lines touched (capacity is checked against this)."""
+        return len(self.read_lines | self.write_lines)
+
+
+@dataclass
+class TxStats:
+    """Machine-wide transactional execution counters."""
+
+    begins: int = 0
+    commits: int = 0
+    aborts: int = 0
+    aborts_by_code: dict[AbortCode, int] = field(
+        default_factory=lambda: {code: 0 for code in AbortCode}
+    )
+    #: critical sections that ended up taking the lock (slow path)
+    fallbacks: int = 0
+    #: critical sections that never tried HTM (predictor said lock)
+    htm_skipped: int = 0
+
+    def record_abort(self, code: AbortCode) -> None:
+        self.aborts += 1
+        self.aborts_by_code[code] += 1
+
+    @property
+    def commit_rate(self) -> float:
+        """Commits per begin; 0.0 when no transaction ever began."""
+        return self.commits / self.begins if self.begins else 0.0
+
+    def merge(self, other: "TxStats") -> None:
+        self.begins += other.begins
+        self.commits += other.commits
+        self.aborts += other.aborts
+        self.fallbacks += other.fallbacks
+        self.htm_skipped += other.htm_skipped
+        for code, count in other.aborts_by_code.items():
+            self.aborts_by_code[code] += count

@@ -1,0 +1,106 @@
+"""The mini-VM: walks loop-nest programs and accounts simulated time.
+
+The VM executes a :class:`repro.jit.program.Program` under the control of
+a :class:`repro.jit.tracing.TracingJit`.  Loops whose traces are compiled
+run at compiled speed in O(1) accounting per invocation (their entire
+subtree is covered by the trace); interpreted loops walk their children
+trip by trip, which is exactly where the JIT's per-entry and per-op
+overheads bite.
+"""
+
+from __future__ import annotations
+
+from repro.jit.counters import PapiCounters
+from repro.jit.params import JitParams
+from repro.jit.program import Block, Call, Loop, Node, Program
+from repro.jit.tracing import CostModel, TracingJit
+
+
+class VM:
+    """A simulated PyPy-style process: one JIT, persistent across runs."""
+
+    def __init__(self, params: JitParams | None = None,
+                 costs: CostModel | None = None) -> None:
+        self.jit = TracingJit(params or JitParams(), costs)
+        self.counters = PapiCounters()
+        self._programs_seen: set[str] = set()
+
+    @property
+    def costs(self) -> CostModel:
+        return self.jit.costs
+
+    def set_params(self, params: JitParams) -> None:
+        """Adopt new tuning parameters (takes effect immediately)."""
+        self.jit.set_params(params)
+
+    # -- execution ------------------------------------------------------------
+
+    def run_program(self, program: Program) -> float:
+        """Execute one benchmark iteration; returns its simulated ns."""
+        before = self.counters.elapsed_ns
+        if program.name not in self._programs_seen:
+            self._programs_seen.add(program.name)
+            self._account(program.setup_ops, compiled=False)
+        self._run_nodes(program.body)
+        return self.counters.elapsed_ns - before
+
+    def _run_nodes(self, nodes: tuple[Node, ...]) -> None:
+        for node in nodes:
+            if isinstance(node, Block):
+                self._account(node.ops, compiled=False)
+            elif isinstance(node, Call):
+                self._run_call(node)
+            elif isinstance(node, Loop):
+                self._run_loop(node)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown node {node!r}")
+
+    def _run_call(self, call: Call) -> None:
+        mode, upfront = self.jit.enter_call(call.function)
+        self.counters.record_time(upfront)
+        self._account(call.function.body_ops, compiled=mode == "compiled")
+
+    def _run_loop(self, loop: Loop) -> None:
+        mode, upfront = self.jit.enter_loop(loop)
+        self.counters.record_time(upfront)
+
+        if mode == "compiled":
+            # The trace covers the whole subtree: account it in one step.
+            state = self.jit.loop_state(loop.loop_id)
+            self._account(loop.trips * state.trace_ops, compiled=True)
+            self.counters.record_time(
+                self._compiled_subtree_guards(loop, loop.trips)
+            )
+            return
+
+        # Interpreted: walk the body trip by trip so nested loops keep
+        # their own JIT lifecycle.
+        self._account(loop.trips * loop.body_ops, compiled=False)
+        self.counters.record_time(
+            self.jit.interp_guard_cost(loop, loop.trips)
+        )
+        if loop.children:
+            for _ in range(loop.trips):
+                self._run_nodes(loop.children)
+
+    def _compiled_subtree_guards(self, loop: Loop, trips: int) -> float:
+        """Guard accounting for a compiled trace, children included.
+
+        A child loop's guards execute ``child.trips`` times per parent
+        trip once unrolled into the parent's trace.
+        """
+        cost = self.jit.run_guards(loop, trips)
+        for child in loop.children:
+            if isinstance(child, Loop):
+                cost += self._compiled_subtree_guards(
+                    child, trips * child.trips
+                )
+        return cost
+
+    def _account(self, ops: int, compiled: bool) -> None:
+        if ops <= 0:
+            return
+        rate = (self.costs.compiled_ns_per_op if compiled
+                else self.costs.interp_ns_per_op)
+        self.counters.record_ops(ops, compiled)
+        self.counters.record_time(ops * rate)

@@ -1,0 +1,28 @@
+"""Macrobenchmark simulacra for Figure 5."""
+
+from repro.jit.macro.apps import (
+    AIOHTTP,
+    DJANGOCMS,
+    FLASKBLOGGING,
+    GUNICORN,
+    MACROBENCHMARKS,
+    aiohttp,
+    djangocms,
+    flaskblogging,
+    gunicorn,
+)
+from repro.jit.macro.base import MacroConfig, MacroWorkload
+
+__all__ = [
+    "AIOHTTP",
+    "DJANGOCMS",
+    "FLASKBLOGGING",
+    "GUNICORN",
+    "MACROBENCHMARKS",
+    "aiohttp",
+    "djangocms",
+    "flaskblogging",
+    "gunicorn",
+    "MacroConfig",
+    "MacroWorkload",
+]

@@ -1,0 +1,128 @@
+"""The four macrobenchmarks of Figure 5.
+
+Shapes are chosen to reflect each application's character:
+
+* **aiohttp** - a minimal async server: a steady event-loop/parser core,
+  many small route handlers whose traffic churns every iteration (they
+  never stay hot long enough for the default threshold), and a long cold
+  tail of rare endpoints.  The tail keeps the runtime consulting the
+  service from interpreter paths forever, so the syscall transport's
+  per-consultation cost exceeds the tuning gains - PSS-syscall ends up
+  *slower than baseline* (Figure 5a) while PSS-vDSO gains ~20%.
+* **djangocms** - a heavyweight CMS: few, fat handlers whose outer
+  traces exceed even the raised trace budget, and template/ORM work that
+  compiles once and stays hot.  Little headroom for tuning (the paper
+  measures only +2.54%).
+* **flaskblogging** - a small blog app: moderate handler population with
+  slow rotation; modest gains.
+* **gunicorn** - a pre-fork worker with regular worker recycling: the
+  default ``loop_longevity`` frees handler traces during their absence
+  and pays recompile + re-bridge storms when traffic returns; raising
+  longevity (aggressive) keeps them - the second-largest winner.
+"""
+
+from __future__ import annotations
+
+from repro.jit.macro.base import MacroConfig, MacroWorkload
+
+AIOHTTP = MacroConfig(
+    name="aiohttp",
+    handlers=60,
+    hot_set=12,
+    rotate_every=1,
+    rotate_step=2,
+    requests=12,
+    work_trips=12,
+    work_ops=30,
+    dispatch_ops=400,
+    middleware=3,
+    middleware_ops=120,
+    guard_every=9,
+    core=(60, 700),
+    core_ops=100,
+    tail_population=18_000,
+    tail_calls=1300,
+    tail_ops=40,
+)
+
+DJANGOCMS = MacroConfig(
+    name="djangocms",
+    handlers=6,
+    hot_set=3,
+    rotate_every=40,
+    rotate_step=1,
+    requests=30,
+    work_trips=380,
+    work_ops=46,
+    dispatch_ops=1200,
+    middleware=6,
+    middleware_ops=400,
+    tail_population=800,
+    tail_calls=20,
+    tail_ops=40,
+)
+
+FLASKBLOGGING = MacroConfig(
+    name="flaskblogging",
+    handlers=24,
+    hot_set=8,
+    rotate_every=30,
+    rotate_step=2,
+    requests=18,
+    work_trips=20,
+    work_ops=34,
+    dispatch_ops=600,
+    middleware=4,
+    middleware_ops=200,
+    guard_every=14,
+    core=(40, 600),
+    core_ops=96,
+    tail_population=600,
+    tail_calls=15,
+    tail_ops=40,
+)
+
+GUNICORN = MacroConfig(
+    name="gunicorn",
+    handlers=48,
+    hot_set=10,
+    rotate_every=4,
+    rotate_step=2,
+    requests=20,
+    work_trips=25,
+    work_ops=30,
+    dispatch_ops=500,
+    middleware=3,
+    middleware_ops=150,
+    guard_every=10,
+    core=(50, 560),
+    core_ops=83,
+    tail_population=2400,
+    tail_calls=120,
+    tail_ops=40,
+)
+
+
+def aiohttp() -> MacroWorkload:
+    return MacroWorkload(AIOHTTP)
+
+
+def djangocms() -> MacroWorkload:
+    return MacroWorkload(DJANGOCMS)
+
+
+def flaskblogging() -> MacroWorkload:
+    return MacroWorkload(FLASKBLOGGING)
+
+
+def gunicorn() -> MacroWorkload:
+    return MacroWorkload(GUNICORN)
+
+
+#: Figure 5 layout: benchmark name -> (workload factory, iterations)
+MACROBENCHMARKS = {
+    "aiohttp": (aiohttp, 3000),
+    "djangocms": (djangocms, 1800),
+    "flaskblogging": (flaskblogging, 1800),
+    "gunicorn": (gunicorn, 3000),
+}

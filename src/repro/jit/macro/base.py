@@ -1,0 +1,147 @@
+"""Request-serving macrobenchmark simulacra (paper Figure 5).
+
+Each macro workload models a Python web application the way the tracing
+JIT sees it: a dispatch layer, a population of request handlers (loop
+nests of varying weight), and shared middleware functions.  Unlike the
+PolyBench kernels, the *hot set* of handlers rotates over iterations -
+deploys, cache expiry, and traffic shifts keep re-warming code, so the
+JIT keeps making decisions long after startup.  That sustained decision
+rate is what makes these workloads latency-sensitive to the prediction
+transport (Section 5.2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jit.program import (
+    Block,
+    Call,
+    Function,
+    Guard,
+    Loop,
+    Node,
+    Program,
+)
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Shape of one macro application."""
+
+    name: str
+    #: total handler population
+    handlers: int
+    #: handlers active in any one iteration
+    hot_set: int
+    #: iterations between hot-set rotations (1 = constant churn)
+    rotate_every: int
+    #: how many hot handlers are swapped out per rotation
+    rotate_step: int
+    #: requests served per handler per iteration (outer loop trips)
+    requests: int
+    #: work-loop trips inside one request
+    work_trips: int
+    #: interpreted ops of the innermost request work
+    work_ops: int
+    #: ops of the per-iteration dispatch/accept block
+    dispatch_ops: int
+    #: shared middleware functions called once per request batch
+    middleware: int
+    middleware_ops: int
+    #: error/branch guard on the work loop (0 disables)
+    guard_every: int = 0
+    #: steady core nest (event loop, parser) compiled early and shared by
+    #: all iterations; () disables
+    core: tuple[int, ...] = ()
+    core_ops: int = 0
+    #: population of rarely-hit endpoint functions (the cold tail): they
+    #: never cross function_threshold, so every visit is an
+    #: interpreter-path entry - i.e. a sustained consultation point
+    tail_population: int = 0
+    tail_calls: int = 0
+    tail_ops: int = 40
+
+
+class MacroWorkload:
+    """Builds the per-iteration program for a macro application."""
+
+    def __init__(self, config: MacroConfig) -> None:
+        self.config = config
+        self._middleware = [
+            Function(f"{config.name}/mw{i}", body_ops=config.middleware_ops)
+            for i in range(config.middleware)
+        ]
+        # Handlers differ slightly in weight, like real route handlers.
+        self._handlers = [
+            self._make_handler(i) for i in range(config.handlers)
+        ]
+        self._tail = [
+            Function(f"{config.name}/tail{i}", body_ops=config.tail_ops)
+            for i in range(config.tail_population)
+        ]
+        self._core: tuple[Node, ...] = ()
+        if config.core:
+            core = Loop(
+                loop_id=f"{config.name}/core#inner",
+                trips=config.core[-1],
+                body_ops=config.core_ops,
+            )
+            for depth in range(len(config.core) - 2, -1, -1):
+                core = Loop(
+                    loop_id=f"{config.name}/core#{depth}",
+                    trips=config.core[depth],
+                    body_ops=6,
+                    children=(core,),
+                )
+            self._core = (core,)
+
+    def _make_handler(self, index: int) -> Loop:
+        cfg = self.config
+        guards: tuple[Guard, ...] = ()
+        if cfg.guard_every:
+            guards = (Guard(every=cfg.guard_every, side_ops=18),)
+        work = Loop(
+            loop_id=f"{cfg.name}/h{index}/work",
+            trips=cfg.work_trips + index % 7,
+            body_ops=cfg.work_ops + (index % 5) * 4,
+            guards=guards,
+        )
+        return Loop(
+            loop_id=f"{cfg.name}/h{index}",
+            trips=cfg.requests,
+            body_ops=14,
+            children=(work,),
+        )
+
+    def hot_handler_ids(self, iteration: int) -> list[int]:
+        """Which handlers serve traffic during ``iteration``."""
+        cfg = self.config
+        rotation = (iteration // cfg.rotate_every) * cfg.rotate_step
+        return [
+            (rotation + k) % cfg.handlers for k in range(cfg.hot_set)
+        ]
+
+    def program_for(self, iteration: int) -> Program:
+        """The iteration's program: dispatch + hot handlers + middleware."""
+        cfg = self.config
+        nodes: list[Node] = [Block(cfg.dispatch_ops)]
+        nodes.extend(self._core)
+        for function in self._middleware:
+            nodes.append(Call(function))
+        for handler_id in self.hot_handler_ids(iteration):
+            nodes.append(self._handlers[handler_id])
+        # Cold-tail endpoints: a rotating window over a population large
+        # enough that none of them ever gets hot.
+        for k in range(cfg.tail_calls):
+            index = (iteration * cfg.tail_calls + k) % max(
+                1, cfg.tail_population
+            )
+            if self._tail:
+                nodes.append(Call(self._tail[index]))
+        return Program(
+            name=cfg.name, body=tuple(nodes), setup_ops=3000
+        )
+
+    def __call__(self, iteration: int) -> Program:
+        return self.program_for(iteration)

@@ -1,0 +1,102 @@
+"""PyPy JIT tuning parameters (paper Table 1).
+
+The defaults are exactly the paper's Table 1 values.  Candidate settings
+follow Section 4.3: "the default value is multiplied by 1/4, 1/2, 2, and 4
+to get the 4 new settings.  The only exception is trace_limit of 4X, which
+is set to 16000 instead of 24000 because of a range limit."
+
+The tuner moves along an aggressiveness ladder: more aggressive means
+compiling more code sooner (lower thresholds, bigger traces, longer-lived
+code); more conservative means the opposite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: paper Table 1: defaults of the selected parameters
+DEFAULTS = {
+    "decay": 40,
+    "function_threshold": 1619,
+    "loop_longevity": 1000,
+    "threshold": 1039,
+    "trace_eagerness": 200,
+    "trace_limit": 6000,
+}
+
+#: Section 4.3 multipliers for candidate settings
+MULTIPLIERS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+#: the paper's range-limit exception for trace_limit at 4x
+TRACE_LIMIT_CAP = 16_000
+
+
+@dataclass(frozen=True)
+class JitParams:
+    """One concrete setting of the six tuned parameters.
+
+    Attributes mirror Table 1:
+        decay: amount to regularly decay counters by.
+        function_threshold: times a function must run before being traced
+            from its start.
+        loop_longevity: how long compiled loops are kept before being
+            freed.
+        threshold: times a loop must run before it becomes hot.
+        trace_eagerness: guard failures before a bridge is compiled.
+        trace_limit: recorded operations before tracing aborts with
+            ABORT_TOO_LONG.
+    """
+
+    decay: int = DEFAULTS["decay"]
+    function_threshold: int = DEFAULTS["function_threshold"]
+    loop_longevity: int = DEFAULTS["loop_longevity"]
+    threshold: int = DEFAULTS["threshold"]
+    trace_eagerness: int = DEFAULTS["trace_eagerness"]
+    trace_limit: int = DEFAULTS["trace_limit"]
+
+    def __post_init__(self) -> None:
+        for name in DEFAULTS:
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+def scaled(multiplier: float) -> JitParams:
+    """Parameters scaled the paper's way.
+
+    *Aggressiveness* scales thresholds **down** (compile sooner) and
+    trace_limit / loop_longevity **up** (bigger traces, longer-lived
+    code); ``multiplier`` > 1 means more aggressive.
+    """
+    if multiplier not in MULTIPLIERS:
+        raise ValueError(
+            f"multiplier must be one of {MULTIPLIERS}, got {multiplier}"
+        )
+    inverse = 1.0 / multiplier
+    return JitParams(
+        decay=max(1, round(DEFAULTS["decay"] * inverse)),
+        function_threshold=max(
+            1, round(DEFAULTS["function_threshold"] * inverse)
+        ),
+        loop_longevity=max(
+            1, round(DEFAULTS["loop_longevity"] * multiplier)
+        ),
+        threshold=max(1, round(DEFAULTS["threshold"] * inverse)),
+        trace_eagerness=max(
+            1, round(DEFAULTS["trace_eagerness"] * inverse)
+        ),
+        trace_limit=min(
+            TRACE_LIMIT_CAP, round(DEFAULTS["trace_limit"] * multiplier)
+        ),
+    )
+
+
+#: the tuner's aggressiveness ladder, least to most aggressive
+LADDER: tuple[JitParams, ...] = tuple(scaled(m) for m in MULTIPLIERS)
+
+#: index of the default setting within the ladder
+DEFAULT_LADDER_INDEX = MULTIPLIERS.index(1.0)
+
+
+def with_param(params: JitParams, **overrides) -> JitParams:
+    """A copy of ``params`` with individual fields replaced."""
+    return replace(params, **overrides)

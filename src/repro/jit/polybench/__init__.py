@@ -1,0 +1,64 @@
+"""PolyBenchPython-style suite: the 30 kernels of Figures 3 and 4.
+
+Kernel builders return fresh :class:`repro.jit.program.Program` trees;
+the registry maps the paper's kernel names to builders.
+"""
+
+from typing import Callable
+
+from repro.jit.polybench import (
+    datamining,
+    linear_algebra,
+    medley,
+    solvers,
+    stencils,
+)
+from repro.jit.program import Program
+
+#: the 30 kernels, named as the paper's Figure 3/4 x-axis names them
+KERNELS: dict[str, Callable[[], Program]] = {
+    "atax": linear_algebra.atax,
+    "gramschmidt": solvers.gramschmidt,
+    "floyd_warshall": medley.floyd_warshall,
+    "heat_3d": stencils.heat_3d,
+    "seidel_2d": stencils.seidel_2d,
+    "fdtd_2d": stencils.fdtd_2d,
+    "jacobi_1d": stencils.jacobi_1d,
+    "syrk": linear_algebra.syrk,
+    "adi": stencils.adi,
+    "gemm": linear_algebra.gemm,
+    "nussinov": medley.nussinov,
+    "syr2k": linear_algebra.syr2k,
+    "jacobi_2d": stencils.jacobi_2d,
+    "deriche": medley.deriche,
+    "doitgen": linear_algebra.doitgen,
+    "gesummv": linear_algebra.gesummv,
+    "lu": solvers.lu,
+    "cholesky": solvers.cholesky,
+    "trisolv": solvers.trisolv,
+    "mvt": linear_algebra.mvt,
+    "trmm": linear_algebra.trmm,
+    "correlation": datamining.correlation,
+    "durbin": solvers.durbin,
+    "ludcmp": solvers.ludcmp,
+    "covariance": datamining.covariance,
+    "3mm": linear_algebra.three_mm,
+    "symm": linear_algebra.symm,
+    "gemver": linear_algebra.gemver,
+    "2mm": linear_algebra.two_mm,
+    "bicg": linear_algebra.bicg,
+}
+
+
+def build_kernel(name: str) -> Program:
+    """Instantiate one kernel by its paper name."""
+    try:
+        return KERNELS[name]()
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(
+            f"unknown PolyBench kernel {name!r}; available: {known}"
+        ) from None
+
+
+__all__ = ["KERNELS", "build_kernel"]

@@ -1,0 +1,26 @@
+"""PolyBench data-mining kernels."""
+
+from __future__ import annotations
+
+from repro.jit.program import LoopNestBuilder, Program
+
+M, N = 28, 32
+
+
+def correlation() -> Program:
+    """Correlation matrix: mean/stddev passes then the triangular core."""
+    return (LoopNestBuilder("correlation")
+            .nest("mean", (M, N), body_ops=20)
+            .nest("stddev", (M, N), body_ops=30)
+            .nest("normalize", (N, M), body_ops=22)
+            .nest("corr", (M, M, N), body_ops=30)
+            .build())
+
+
+def covariance() -> Program:
+    """Covariance matrix: mean pass then the triangular core."""
+    return (LoopNestBuilder("covariance")
+            .nest("mean", (M, N), body_ops=20)
+            .nest("center", (N, M), body_ops=16)
+            .nest("cov", (M, M, N), body_ops=30)
+            .build())

@@ -1,0 +1,123 @@
+"""PolyBench linear-algebra kernels (BLAS and kernels groups).
+
+Each builder mirrors the loop structure of the corresponding PolyBench/C
+kernel at MINI-to-SMALL problem sizes.  ``body_ops`` approximates the
+interpreted-Python bytecode footprint of the innermost statement(s) -
+subscript loads, bound-method calls, boxing - which is what the tracing
+JIT records.
+"""
+
+from __future__ import annotations
+
+from repro.jit.program import Guard, LoopNestBuilder, Program
+
+# Problem-size constants (MINI/SMALL-ish; names follow PolyBench).
+NI, NJ, NK, NL, NM = 26, 28, 30, 32, 24
+BIG_N = 120
+
+
+def gemm() -> Program:
+    """C = alpha*A*B + beta*C: the canonical 3-deep nest."""
+    return (LoopNestBuilder("gemm")
+            .nest("scale", (NI, NJ), body_ops=18)
+            .nest("main", (NI, NJ, NK), body_ops=34)
+            .build())
+
+
+def two_mm() -> Program:
+    """2mm: two chained matrix products."""
+    return (LoopNestBuilder("2mm")
+            .nest("tmp", (NI, NJ, NK), body_ops=34)
+            .nest("out", (NI, NL, NJ), body_ops=34)
+            .build())
+
+
+def three_mm() -> Program:
+    """3mm: three chained matrix products."""
+    return (LoopNestBuilder("3mm")
+            .nest("e", (NI, NJ, NK), body_ops=34)
+            .nest("f", (NJ, NL, NM), body_ops=34)
+            .nest("g", (NI, NL, NJ), body_ops=34)
+            .build())
+
+
+def atax() -> Program:
+    """A^T A x: two matrix-vector products over the same matrix."""
+    return (LoopNestBuilder("atax")
+            .nest("init", (BIG_N,), body_ops=8)
+            .nest("ax", (NI, BIG_N), body_ops=30)
+            .nest("aty", (NI, BIG_N), body_ops=30)
+            .build())
+
+
+def bicg() -> Program:
+    """BiCG sub-kernel: simultaneous A^T s and A q products."""
+    return (LoopNestBuilder("bicg")
+            .nest("init", (BIG_N,), body_ops=10)
+            .nest("main", (NI, BIG_N), body_ops=42)
+            .build())
+
+
+def mvt() -> Program:
+    """Two independent matrix-vector transposed products."""
+    return (LoopNestBuilder("mvt")
+            .nest("x1", (BIG_N, NI), body_ops=28)
+            .nest("x2", (BIG_N, NI), body_ops=28)
+            .build())
+
+
+def gemver() -> Program:
+    """Vector multiplications and matrix additions (BLAS-2 mix)."""
+    return (LoopNestBuilder("gemver")
+            .nest("a-update", (BIG_N, NI), body_ops=36)
+            .nest("x-update", (BIG_N, NI), body_ops=30)
+            .nest("x-add", (BIG_N,), body_ops=12)
+            .nest("w", (BIG_N, NI), body_ops=28)
+            .build())
+
+
+def gesummv() -> Program:
+    """Summed matrix-vector products: y = alpha*A*x + beta*B*x."""
+    return (LoopNestBuilder("gesummv")
+            .nest("main", (BIG_N, BIG_N), body_ops=40)
+            .build())
+
+
+def symm() -> Program:
+    """Symmetric matrix multiply; inner guard for the triangular test."""
+    return (LoopNestBuilder("symm")
+            .nest("main", (NI, NJ, NK), body_ops=40,
+                  guards=(Guard(every=5, side_ops=24),))
+            .build())
+
+
+def syrk() -> Program:
+    """Symmetric rank-k update (triangular iteration space)."""
+    return (LoopNestBuilder("syrk")
+            .nest("scale", (NI, NI), body_ops=16)
+            .nest("main", (NI, NI, NK), body_ops=30)
+            .build())
+
+
+def syr2k() -> Program:
+    """Symmetric rank-2k update: two products per innermost statement."""
+    return (LoopNestBuilder("syr2k")
+            .nest("scale", (NI, NI), body_ops=16)
+            .nest("main", (NI, NI, NK), body_ops=52)
+            .build())
+
+
+def trmm() -> Program:
+    """Triangular matrix multiply with a branchy inner loop."""
+    return (LoopNestBuilder("trmm")
+            .nest("main", (NI, NJ, NK), body_ops=30,
+                  guards=(Guard(every=4, side_ops=18),))
+            .build())
+
+
+def doitgen() -> Program:
+    """Multi-resolution analysis kernel: 4-deep nest."""
+    return (LoopNestBuilder("doitgen")
+            .nest("main", (NI, NJ, NK, 24), body_ops=30)
+            .nest("copy", (NI, NJ, 24), body_ops=14)
+            .build())

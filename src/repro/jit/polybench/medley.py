@@ -1,0 +1,41 @@
+"""PolyBench medley kernels."""
+
+from __future__ import annotations
+
+from repro.jit.program import Function, Guard, LoopNestBuilder, Program
+
+N = 40
+
+
+def floyd_warshall() -> Program:
+    """All-pairs shortest paths: 3-deep nest with a min() guard."""
+    return (LoopNestBuilder("floyd_warshall")
+            .nest("main", (N, N, N), body_ops=28,
+                  guards=(Guard(every=3, side_ops=14),))
+            .build())
+
+
+def nussinov() -> Program:
+    """RNA folding dynamic program: triangular nest, max() guards and a
+    scoring helper function (a ``function_threshold`` target)."""
+    score = Function("nussinov/score", body_ops=22)
+    return (LoopNestBuilder("nussinov")
+            .nest("main", (N, N // 2, N // 2), body_ops=26,
+                  guards=(Guard(every=4, side_ops=16),),
+                  call=score)
+            .build())
+
+
+def deriche() -> Program:
+    """Recursive Gaussian filter: four directional passes.
+
+    Each pass is a 2-deep nest with a long recurrence body; the helper
+    coefficients function is shared by all passes.
+    """
+    coeff = Function("deriche/coeff", body_ops=18)
+    return (LoopNestBuilder("deriche")
+            .nest("horiz-fwd", (64, 64), body_ops=40, call=coeff)
+            .nest("horiz-bwd", (64, 64), body_ops=40, call=coeff)
+            .nest("vert-fwd", (64, 64), body_ops=40, call=coeff)
+            .nest("vert-bwd", (64, 64), body_ops=40, call=coeff)
+            .build())

@@ -1,0 +1,77 @@
+"""PolyBench stencil kernels.
+
+Stencils iterate a time loop around spatial sweeps; the time loop's trace
+unrolls the full sweep, which only fits the JIT's trace budget when
+``trace_limit`` is raised - these kernels are where aggressive settings
+shine (the >100% bars of Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.jit.program import LoopNestBuilder, Program
+
+TSTEPS = 20
+N2D = 30
+N3D = 12
+N1D = 120
+N2D_BIG = 200
+
+
+def jacobi_1d() -> Program:
+    """1D Jacobi: time loop over two vector sweeps."""
+    return (LoopNestBuilder("jacobi_1d")
+            .nest("main", (TSTEPS, 2, N1D), body_ops=26)
+            .build())
+
+
+def jacobi_2d() -> Program:
+    """2D Jacobi: 5-point stencil, two arrays."""
+    return (LoopNestBuilder("jacobi_2d")
+            .nest("main", (TSTEPS, 2, N2D_BIG, N2D_BIG), body_ops=34)
+            .build())
+
+
+def seidel_2d() -> Program:
+    """2D Gauss-Seidel: 9-point in-place stencil.
+
+    The in-place row update is one long dependent expression chain; the
+    tracer records the whole row as a single straight-line region (the
+    stride-1 inner loop unrolls, as PyPy does for constant short trip
+    counts), so the row trace only fits a raised ``trace_limit``.  Under
+    default settings tracing aborts and the rows stay interpreted - this
+    is one of Figure 3's >100% kernels.
+    """
+    return (LoopNestBuilder("seidel_2d")
+            .nest("interior", (TSTEPS, 120, 120), body_ops=46)
+            .nest("rows", (TSTEPS, 6), body_ops=6500)
+            .build())
+
+
+def fdtd_2d() -> Program:
+    """2D finite-difference time domain: three sweeps per step."""
+    return (LoopNestBuilder("fdtd_2d")
+            .nest("ey", (TSTEPS, 220, 220), body_ops=30)
+            .nest("ex", (TSTEPS, 220, 220), body_ops=30)
+            .nest("hz", (TSTEPS, 220, 220), body_ops=32)
+            .build())
+
+
+def heat_3d() -> Program:
+    """3D heat equation: 4-deep nest (time + 3 spatial dims)."""
+    return (LoopNestBuilder("heat_3d")
+            .nest("main", (TSTEPS, 2, N3D, N3D, N3D), body_ops=48)
+            .build())
+
+
+def adi() -> Program:
+    """Alternating-direction implicit solver: very large step bodies.
+
+    Each time step runs column and row sweeps with heavy per-point
+    expressions; the sweep traces exceed even the raised trace budget,
+    so aggressive settings only buy wasted trace attempts - adi sits at
+    the low end of Figure 3.
+    """
+    return (LoopNestBuilder("adi")
+            .nest("col", (TSTEPS, 58, 300), body_ops=60)
+            .nest("row", (TSTEPS, 58, 300), body_ops=60)
+            .build())

@@ -1,0 +1,197 @@
+"""Program representation for the mini tracing-JIT VM.
+
+Programs are loop-nest trees, the granularity at which a tracing JIT makes
+its decisions.  Each :class:`Loop` carries the number of abstract bytecode
+operations in one iteration of its own body (excluding children), its trip
+count, and its guard behaviour (how often the recorded trace's assumptions
+fail).  :class:`Call` nodes invoke shared :class:`Function` bodies, which
+is what ``function_threshold`` acts on.
+
+The VM walks this tree instead of individual bytecodes so that MINI-sized
+PolyBench kernels stay fast to simulate, while every quantity the Table 1
+parameters act on (trip counts, trace lengths, guard failures, call
+counts) remains explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Node = Union["Loop", "Call", "Block"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """Straight-line code: ``ops`` abstract operations, no control flow."""
+
+    ops: int
+
+    def __post_init__(self) -> None:
+        if self.ops < 0:
+            raise ValueError("ops must be non-negative")
+
+
+@dataclass(frozen=True)
+class Guard:
+    """A trace assumption that fails every ``every``-th loop iteration.
+
+    On failure the VM leaves compiled code, pays the fallback penalty,
+    and executes ``side_ops`` interpreted; once ``trace_eagerness``
+    cumulative failures occur a bridge is compiled and the side path
+    becomes cheap too.
+    """
+
+    every: int
+    side_ops: int = 20
+
+    def __post_init__(self) -> None:
+        if self.every < 2:
+            raise ValueError("guards must fail strictly less than always")
+        if self.side_ops < 0:
+            raise ValueError("side_ops must be non-negative")
+
+
+@dataclass(frozen=True)
+class Function:
+    """A shared subroutine body (``function_threshold`` target)."""
+
+    name: str
+    body_ops: int
+
+    def __post_init__(self) -> None:
+        if self.body_ops < 1:
+            raise ValueError("function body must have at least one op")
+
+
+@dataclass(frozen=True)
+class Call:
+    """Invocation of a function from a loop body."""
+
+    function: Function
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop with optional nested structure.
+
+    ``loop_id`` identifies the loop across benchmark iterations so the
+    JIT's counters and compiled traces persist, exactly like a loop's
+    position in real source code.
+    """
+
+    loop_id: str
+    trips: int
+    body_ops: int
+    children: tuple[Node, ...] = ()
+    guards: tuple[Guard, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.trips < 1:
+            raise ValueError(f"loop {self.loop_id}: trips must be >= 1")
+        if self.body_ops < 1:
+            raise ValueError(f"loop {self.loop_id}: body needs >= 1 op")
+
+    def trace_ops(self) -> int:
+        """Operations one recorded trace of this loop would contain.
+
+        A trace records one full iteration of the loop body, *unrolling
+        through* everything nested inside - which is why outer loops of
+        deep nests blow past ``trace_limit`` while leaf loops fit.
+        """
+        total = self.body_ops
+        for child in self.children:
+            if isinstance(child, Loop):
+                total += child.trips * child.trace_ops()
+            elif isinstance(child, Call):
+                total += child.function.body_ops
+            else:
+                total += child.ops
+        return total
+
+
+@dataclass(frozen=True)
+class Program:
+    """A benchmark program: top-level nodes executed once per iteration."""
+
+    name: str
+    body: tuple[Node, ...]
+    #: one-time interpreter ops on first execution (imports, setup)
+    setup_ops: int = 0
+
+    def loops(self) -> list[Loop]:
+        """All loops in the program, outermost first."""
+        found: list[Loop] = []
+
+        def walk(nodes: tuple[Node, ...]) -> None:
+            for node in nodes:
+                if isinstance(node, Loop):
+                    found.append(node)
+                    walk(node.children)
+
+        walk(self.body)
+        return found
+
+
+class LoopNestBuilder:
+    """Convenience builder for PolyBench-style rectangular loop nests.
+
+    >>> program = (LoopNestBuilder("gemm")
+    ...     .nest("init", (20, 25), body_ops=6)
+    ...     .nest("main", (20, 25, 30), body_ops=8, outer_ops=4)
+    ...     .build())
+    """
+
+    def __init__(self, name: str, setup_ops: int = 200) -> None:
+        self._name = name
+        self._setup_ops = setup_ops
+        self._nodes: list[Node] = []
+        self._counter = 0
+
+    def block(self, ops: int) -> "LoopNestBuilder":
+        self._nodes.append(Block(ops))
+        return self
+
+    def nest(self, tag: str, trips: tuple[int, ...], body_ops: int,
+             outer_ops: int = 4,
+             guards: tuple[Guard, ...] = (),
+             call: Function | None = None) -> "LoopNestBuilder":
+        """Add a rectangular nest; ``body_ops`` is the innermost body.
+
+        ``outer_ops`` is the per-iteration overhead of each enclosing
+        loop level (index arithmetic, bounds checks).  ``guards`` and
+        ``call`` attach to the innermost loop.
+        """
+        if not trips:
+            raise ValueError("nest needs at least one loop level")
+        inner_children: tuple[Node, ...] = (
+            (Call(call),) if call is not None else ()
+        )
+        node: Node = Loop(
+            loop_id=f"{self._name}/{tag}#{len(trips) - 1}",
+            trips=trips[-1],
+            body_ops=body_ops,
+            children=inner_children,
+            guards=guards,
+        )
+        for depth in range(len(trips) - 2, -1, -1):
+            node = Loop(
+                loop_id=f"{self._name}/{tag}#{depth}",
+                trips=trips[depth],
+                body_ops=outer_ops,
+                children=(node,),
+            )
+        self._nodes.append(node)
+        return self
+
+    def loop(self, node: Loop) -> "LoopNestBuilder":
+        """Add a hand-built loop node."""
+        self._nodes.append(node)
+        return self
+
+    def build(self) -> Program:
+        return Program(
+            name=self._name,
+            body=tuple(self._nodes),
+            setup_ops=self._setup_ops,
+        )

@@ -1,0 +1,50 @@
+"""Memory-management / page-reclaim scenario (Section 4.2, Figure 6)."""
+
+from repro.mm.blockdev import BlockDevice
+from repro.mm.reclaim import ReclaimController, SCAN_CHUNK
+from repro.mm.runner import (
+    FIGURE6_WORKERS,
+    Figure6Column,
+    StutterpResult,
+    compare_throttles,
+    latency_improvement,
+    make_pss_throttle,
+    run_stutterp,
+)
+from repro.mm.state import MemoryState, VmStats, Watermarks
+from repro.mm.throttle import (
+    EFFICIENCY_THRESHOLD,
+    GormanThrottle,
+    NeverThrottle,
+    PSSThrottle,
+    ReclaimWindow,
+    ThrottlePolicy,
+    VanillaCongestionWait,
+)
+from repro.mm.workloads import LatencyRecord, Stutterp, StutterpConfig
+
+__all__ = [
+    "BlockDevice",
+    "ReclaimController",
+    "SCAN_CHUNK",
+    "FIGURE6_WORKERS",
+    "Figure6Column",
+    "StutterpResult",
+    "compare_throttles",
+    "latency_improvement",
+    "make_pss_throttle",
+    "run_stutterp",
+    "MemoryState",
+    "VmStats",
+    "Watermarks",
+    "EFFICIENCY_THRESHOLD",
+    "GormanThrottle",
+    "NeverThrottle",
+    "PSSThrottle",
+    "ReclaimWindow",
+    "ThrottlePolicy",
+    "VanillaCongestionWait",
+    "LatencyRecord",
+    "Stutterp",
+    "StutterpConfig",
+]

@@ -1,0 +1,85 @@
+"""The block device absorbing writeback traffic.
+
+A single queue served at a fixed rate; the congestion flag is the one the
+historical ``congestion_wait()`` mechanism polls (queue occupancy beyond
+a threshold).  Completions call back into the memory state so writeback
+pages become reclaimable when their IO really finishes - the delay whose
+mismanagement the whole Figure 6 experiment is about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine
+
+
+class BlockDevice:
+    """FIFO write-request queue with deterministic service time."""
+
+    def __init__(self, engine: Engine,
+                 service_ns_per_page: float = 60_000.0,
+                 queue_limit: int = 128,
+                 congestion_fraction: float = 0.75) -> None:
+        self.engine = engine
+        self.service_ns_per_page = service_ns_per_page
+        self.queue_limit = queue_limit
+        self.congestion_threshold = int(queue_limit * congestion_fraction)
+        self._queued = 0
+        self._serving = False
+        self._on_complete: Callable[[int], None] | None = None
+        # stats
+        self.pages_written = 0
+        self.peak_queue = 0
+
+    def set_completion_handler(self,
+                               handler: Callable[[int], None]) -> None:
+        """``handler(pages)`` runs when a write completes."""
+        self._on_complete = handler
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queued
+
+    @property
+    def congested(self) -> bool:
+        """The historical BDI congestion bit."""
+        return self._queued >= self.congestion_threshold
+
+    @property
+    def space(self) -> int:
+        """Requests the queue can still accept."""
+        return max(0, self.queue_limit - self._queued)
+
+    def estimated_drain_ns(self, to_depth: int = 0) -> float:
+        """Time until the queue drains to ``to_depth`` pages."""
+        backlog = max(0, self._queued - to_depth)
+        return backlog * self.service_ns_per_page
+
+    def submit(self, pages: int) -> int:
+        """Queue up to ``pages`` write requests; returns the accepted
+        count (the rest must be retried later - the queue is full)."""
+        accepted = min(pages, self.space)
+        if accepted <= 0:
+            return 0
+        self._queued += accepted
+        self.peak_queue = max(self.peak_queue, self._queued)
+        if not self._serving:
+            self._serving = True
+            self.engine.schedule(self.service_ns_per_page,
+                                 self._complete_one)
+        return accepted
+
+    def _complete_one(self) -> None:
+        if self._queued <= 0:
+            self._serving = False
+            return
+        self._queued -= 1
+        self.pages_written += 1
+        if self._on_complete is not None:
+            self._on_complete(1)
+        if self._queued > 0:
+            self.engine.schedule(self.service_ns_per_page,
+                                 self._complete_one)
+        else:
+            self._serving = False

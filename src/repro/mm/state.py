@@ -1,0 +1,172 @@
+"""Memory state for the page-reclaim scenario.
+
+The simulator tracks page populations as counters rather than individual
+page frames: ``free``, ``anon`` (mapped anonymous), ``file_clean`` /
+``file_dirty`` (page-cache), and ``writeback`` (dirty pages queued to the
+block device).  Reclaim scans the inactive-file tail, which the counter
+model approximates by drawing scanned pages proportionally from the clean
+and dirty populations - the quantity that matters for the paper's
+experiment is the *reclaim efficiency* (reclaimed/scanned), which this
+preserves.
+
+Watermarks follow the kernel's min/low/high scheme: allocations below
+``min`` enter direct reclaim; kswapd wakes below ``low`` and rests above
+``high``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Watermarks:
+    """Free-page thresholds, as fractions of total memory."""
+
+    min_frac: float = 0.04
+    low_frac: float = 0.08
+    high_frac: float = 0.12
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_frac < self.low_frac < self.high_frac < 1:
+            raise ValueError(
+                "watermarks must satisfy 0 < min < low < high < 1"
+            )
+
+
+@dataclass
+class VmStats:
+    """Kernel-style cumulative counters."""
+
+    pgscan: int = 0
+    pgsteal: int = 0
+    pgrotated: int = 0
+    writeback_submitted: int = 0
+    writeback_completed: int = 0
+    direct_reclaims: int = 0
+    kswapd_runs: int = 0
+    throttle_entries: int = 0
+    throttle_sleeps: int = 0
+    throttle_sleep_ns: float = 0.0
+
+    @property
+    def overall_efficiency(self) -> float:
+        """Lifetime reclaimed/scanned ratio."""
+        return self.pgsteal / self.pgscan if self.pgscan else 1.0
+
+
+@dataclass
+class MemoryState:
+    """Page populations plus watermark bookkeeping."""
+
+    total: int
+    watermarks: Watermarks = field(default_factory=Watermarks)
+    free: int = 0
+    anon: int = 0
+    file_clean: int = 0
+    file_dirty: int = 0
+    writeback: int = 0
+    stats: VmStats = field(default_factory=VmStats)
+
+    def __post_init__(self) -> None:
+        if self.total < 100:
+            raise ValueError("total memory must be at least 100 pages")
+        if self.free == 0:
+            self.free = self.total
+
+    # -- invariants --------------------------------------------------------
+
+    def used(self) -> int:
+        return (self.anon + self.file_clean + self.file_dirty
+                + self.writeback)
+
+    def check(self) -> None:
+        """Raise if page conservation is violated (used by tests)."""
+        if self.free + self.used() != self.total:
+            raise AssertionError(
+                f"page leak: free={self.free} used={self.used()} "
+                f"total={self.total}"
+            )
+        for name in ("free", "anon", "file_clean", "file_dirty",
+                     "writeback"):
+            if getattr(self, name) < 0:
+                raise AssertionError(f"negative population {name}")
+
+    # -- watermark tests ------------------------------------------------------
+
+    @property
+    def min_pages(self) -> int:
+        return int(self.total * self.watermarks.min_frac)
+
+    @property
+    def low_pages(self) -> int:
+        return int(self.total * self.watermarks.low_frac)
+
+    @property
+    def high_pages(self) -> int:
+        return int(self.total * self.watermarks.high_frac)
+
+    @property
+    def below_min(self) -> bool:
+        return self.free < self.min_pages
+
+    @property
+    def below_low(self) -> bool:
+        return self.free < self.low_pages
+
+    # -- page movement ---------------------------------------------------------
+
+    def allocate(self, kind: str) -> bool:
+        """Take one free page as ``kind``; False when none are free."""
+        if self.free <= 0:
+            return False
+        self.free -= 1
+        if kind == "anon":
+            self.anon += 1
+        elif kind == "file_clean":
+            self.file_clean += 1
+        elif kind == "file_dirty":
+            self.file_dirty += 1
+        else:
+            raise ValueError(f"unknown page kind {kind!r}")
+        return True
+
+    def dirty_clean_page(self) -> bool:
+        """A writer re-dirties a cached clean page."""
+        if self.file_clean <= 0:
+            return False
+        self.file_clean -= 1
+        self.file_dirty += 1
+        return True
+
+    def reclaim_clean(self, count: int) -> int:
+        """Free up to ``count`` clean file pages; returns how many."""
+        taken = min(count, self.file_clean)
+        self.file_clean -= taken
+        self.free += taken
+        self.stats.pgsteal += taken
+        return taken
+
+    def start_writeback(self, count: int) -> int:
+        """Move up to ``count`` dirty pages into writeback."""
+        taken = min(count, self.file_dirty)
+        self.file_dirty -= taken
+        self.writeback += taken
+        self.stats.writeback_submitted += taken
+        return taken
+
+    def complete_writeback(self, count: int) -> int:
+        """IO finished: writeback pages become free (reclaimed)."""
+        taken = min(count, self.writeback)
+        self.writeback -= taken
+        self.free += taken
+        self.stats.writeback_completed += taken
+        self.stats.pgsteal += taken
+        return taken
+
+    def drop_anon(self, count: int) -> int:
+        """Unmap anonymous pages (process exit / explicit unmap)."""
+        taken = min(count, self.anon)
+        self.anon -= taken
+        self.free += taken
+        return taken

@@ -1,0 +1,211 @@
+"""``consider_reclaim_throttle``: the decision point of Section 4.2.
+
+Three interchangeable policies decide whether a reclaiming task should
+sleep and for how long:
+
+* :class:`VanillaCongestionWait` - the historical ``congestion_wait()``:
+  if the backing device looks congested, sleep; and because congestion
+  tracking races with reality, "congestion_wait() is used in practice
+  only when the timeout expires" - the sleep always lasts the full
+  timeout.
+* :class:`GormanThrottle` - the 2021 patch series: classify the stall
+  (too many dirty/writeback pages vs. no reclaim progress) and sleep an
+  amount tied to the device backlog, gated by the **fixed 12.5 %
+  efficiency threshold** the paper quotes.
+* :class:`PSSThrottle` - the paper's contribution: a prediction-service
+  client decides sleep/no-sleep from rounded ``nr_reclaimed``,
+  ``nr_scanned`` and the reciprocal efficiency ratio, and is trained from
+  the time between successive throttle entries (longer gap = reclaim
+  pressure easing = reward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.client import PSSClient
+from repro.core.features import reciprocal_ratio, round_to_msf
+from repro.mm.blockdev import BlockDevice
+from repro.mm.state import MemoryState
+
+#: the kernel's congestion_wait timeout (HZ/10 = 100 ms), scaled to the
+#: simulator's compressed time scale
+CONGESTION_TIMEOUT_NS = 4_000_000.0
+
+#: the Gorman patch's fixed reclaim-efficiency threshold (12.5 %)
+EFFICIENCY_THRESHOLD = 0.125
+
+#: dirty+writeback fraction of memory above which reclaim must wait for
+#: the flushers
+DIRTY_PRESSURE_FRACTION = 0.50
+
+
+@dataclass
+class ReclaimWindow:
+    """One reclaim round's outcome, fed to the throttle decision."""
+
+    nr_scanned: int
+    nr_reclaimed: int
+
+    @property
+    def efficiency(self) -> float:
+        if self.nr_scanned == 0:
+            return 1.0
+        return self.nr_reclaimed / self.nr_scanned
+
+
+class ThrottlePolicy:
+    """Decides a sleep duration (0 = do not sleep)."""
+
+    name = "base"
+
+    def consider(self, window: ReclaimWindow, mm: MemoryState,
+                 device: BlockDevice, now_ns: float) -> float:
+        raise NotImplementedError
+
+
+class NeverThrottle(ThrottlePolicy):
+    """Scan relentlessly; the no-sleep ablation floor."""
+
+    name = "never"
+
+    def consider(self, window, mm, device, now_ns):
+        return 0.0
+
+
+class VanillaCongestionWait(ThrottlePolicy):
+    """Linux <= 5.15 behaviour built on BDI congestion tracking."""
+
+    name = "vanilla"
+
+    def __init__(self, timeout_ns: float = CONGESTION_TIMEOUT_NS) -> None:
+        self.timeout_ns = timeout_ns
+
+    def consider(self, window, mm, device, now_ns):
+        if device.congested:
+            # The wakeup-on-decongestion path is broken by the inherent
+            # race the paper describes, so the full timeout is served.
+            return self.timeout_ns
+        return 0.0
+
+
+class GormanThrottle(ThrottlePolicy):
+    """The congestion_wait removal patch (LWN, 2021).
+
+    Reclassifies throttling into explicit conditions and waits on the
+    actual backlog instead of a racy congestion bit - but with the fixed
+    12.5 % efficiency threshold that "may not work for all scenarios".
+    """
+
+    name = "gorman"
+
+    def __init__(self, timeout_ns: float = CONGESTION_TIMEOUT_NS) -> None:
+        self.timeout_ns = timeout_ns
+
+    def consider(self, window, mm, device, now_ns):
+        # Case 1: too many dirty/writeback pages - sleep until enough
+        # are cleaned (estimated from the device backlog) or timeout.
+        dirty_load = mm.file_dirty + mm.writeback
+        if dirty_load > mm.total * DIRTY_PRESSURE_FRACTION:
+            drain = device.estimated_drain_ns(
+                to_depth=device.congestion_threshold // 2
+            )
+            return min(drain, self.timeout_ns)
+        # Case 2: no progress - sleep until other reclaimers can
+        # plausibly proceed, gated by the fixed efficiency threshold.
+        if window.efficiency < EFFICIENCY_THRESHOLD:
+            drain = device.estimated_drain_ns(
+                to_depth=device.queue_limit // 4
+            )
+            return min(max(drain, self.timeout_ns / 8),
+                       self.timeout_ns / 2)
+        return 0.0
+
+
+class PSSThrottle(ThrottlePolicy):
+    """Section 4.2: the learned sleep decision.
+
+    ``consider`` builds the paper's feature vector, asks the service, and
+    trains on the inter-arrival time of throttle entries, exactly as the
+    paper describes its ``ktime_get()`` scheme.
+    """
+
+    name = "pss"
+
+    #: smoothing for the inter-entry gap baseline
+    GAP_EMA_ALPHA = 0.1
+    #: consecutive sleep decisions before a forced no-sleep probe, so the
+    #: predictor cannot settle into always-sleep (the degenerate optimum
+    #: of the gap metric) without ever re-measuring the alternative
+    PROBE_INTERVAL = 12
+
+    def __init__(self, client: PSSClient,
+                 sleep_quantum_ns: float = CONGESTION_TIMEOUT_NS / 6,
+                 timeout_ns: float = CONGESTION_TIMEOUT_NS * 0.75) -> None:
+        # Sleeps are deliberately shorter than the kernel policies': a
+        # prediction costs ~4 ns, so the task can afford to wake early,
+        # re-ask, and go back to sleep - unlike congestion_wait, whose
+        # granularity is the scheduler tick.
+        self.client = client
+        self.sleep_quantum_ns = sleep_quantum_ns
+        self.timeout_ns = timeout_ns
+        self._last_entry_ns: float | None = None
+        self._gap_ema_ns: float | None = None
+        self._prev_features: list[int] | None = None
+        self._prev_no_sleep: bool | None = None
+        self._prev_sleep_ns = 0.0
+        self._sleeps_since_probe = 0
+
+    def _features(self, window: ReclaimWindow) -> list[int]:
+        return [
+            round_to_msf(window.nr_reclaimed),
+            round_to_msf(window.nr_scanned),
+            reciprocal_ratio(window.nr_scanned, window.nr_reclaimed,
+                             saturate_at=1000),
+        ]
+
+    def consider(self, window, mm, device, now_ns):
+        # Train on the gap between successive entries: longer gaps mean
+        # reclaim is being entered less often - reward the weights that
+        # led to the previous decision.  A smoothed baseline filters the
+        # heavy-tailed gap distribution.
+        if self._last_entry_ns is not None:
+            # Time spent asleep is not time the system stayed healthy:
+            # subtract it so always-sleeping cannot game the metric.
+            gap = max(0.0, now_ns - self._last_entry_ns
+                      - self._prev_sleep_ns)
+            if self._gap_ema_ns is not None \
+                    and self._prev_features is not None:
+                improving = gap > self._gap_ema_ns
+                self.client.update(
+                    self._prev_features,
+                    direction=(improving == self._prev_no_sleep),
+                )
+            self._gap_ema_ns = (
+                gap if self._gap_ema_ns is None
+                else (1 - self.GAP_EMA_ALPHA) * self._gap_ema_ns
+                + self.GAP_EMA_ALPHA * gap
+            )
+        self._last_entry_ns = now_ns
+
+        features = self._features(window)
+        no_sleep = self.client.predict_bool(features)
+        if not no_sleep:
+            self._sleeps_since_probe += 1
+            if self._sleeps_since_probe >= self.PROBE_INTERVAL:
+                # Forced no-sleep probe: re-measure the alternative.
+                no_sleep = True
+        if no_sleep:
+            self._sleeps_since_probe = 0
+        self._prev_features = features
+        self._prev_no_sleep = no_sleep
+        if no_sleep:
+            self._prev_sleep_ns = 0.0
+            return 0.0
+        drain = device.estimated_drain_ns(
+            to_depth=device.queue_limit // 4
+        )
+        sleep_ns = min(max(drain, self.sleep_quantum_ns),
+                       self.timeout_ns)
+        self._prev_sleep_ns = sleep_ns
+        return sleep_ns

@@ -1,0 +1,194 @@
+"""The stutterp workload (MMTests), per paper Section 5.3.1.
+
+Four worker types stress the memory-management subsystem:
+
+* one **anon latency** worker: "creates mmap mappings then measures the
+  duration to fault the mapping" - the reported metric;
+* **X file writers**: fio-like random writers whose files total
+  ``dirty_ratio`` percent of memory;
+* **Y file readers**: fio-like random readers of small files;
+* **Z anon memory hogs**: continually map memory totalling
+  ``(100 - dirty_ratio)`` percent.
+
+"The total estimated working set size is (100 + dirty_ratio)% of memory",
+guaranteeing sustained reclaim with dirty pages reaching the LRU tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mm.reclaim import ReclaimController
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class StutterpConfig:
+    """Worker mix and rates for one mmap-N run."""
+
+    workers: int
+    dirty_ratio: int = 65
+    #: pages faulted per latency-worker measurement
+    fault_batch: int = 64
+    #: pause between latency measurements
+    latency_interval_ns: float = 3_000_000.0
+    #: think time between writer page dirties
+    writer_think_ns: float = 25_000.0
+    reader_think_ns: float = 150_000.0
+    #: think time between hog page faults during a growth burst
+    hog_think_ns: float = 4_000.0
+    #: how long a hog holds its mapping before releasing it
+    hog_hold_ns: float = 30_000_000.0
+    #: pause between hog growth cycles
+    hog_pause_ns: float = 15_000_000.0
+    #: pages each hog maps per cycle
+    hog_pages: int = 120
+
+    def worker_mix(self) -> tuple[int, int, int]:
+        """(writers X, readers Y, hogs Z) for ``workers`` total."""
+        writers = max(1, round(self.workers * 0.5))
+        readers = max(1, round(self.workers * 0.1))
+        hogs = max(1, self.workers - writers - readers)
+        return writers, readers, hogs
+
+
+@dataclass
+class LatencyRecord:
+    """Fault-latency samples from the anon latency worker."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, latency_ns: float) -> None:
+        self.samples.append(latency_ns)
+
+    @property
+    def average_ns(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile_ns(self, fraction: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1,
+                    int(fraction * (len(ordered) - 1)))
+        return ordered[index]
+
+
+class Stutterp:
+    """Builds the worker processes for one run."""
+
+    def __init__(self, config: StutterpConfig,
+                 controller: ReclaimController,
+                 rng: RngStreams) -> None:
+        self.config = config
+        self.controller = controller
+        self.rng = rng
+        self.latency = LatencyRecord()
+        mm = controller.mm
+        self._dirty_target = int(mm.total * config.dirty_ratio / 100)
+        self._hog_target = int(
+            mm.total * (100 - config.dirty_ratio) / 100
+        )
+
+    # -- worker bodies -------------------------------------------------------
+
+    def latency_worker(self):
+        """Maps a batch of anon pages, timing the faults; then unmaps."""
+        cfg = self.config
+        rng = self.rng.stream("latency-worker")
+        controller = self.controller
+        yield controller.cpu.acquire()
+        while True:
+            yield from controller.idle(
+                max(100.0, rng.gauss(cfg.latency_interval_ns,
+                                     0.1 * cfg.latency_interval_ns))
+            )
+            start = controller.engine.now
+            for _ in range(cfg.fault_batch):
+                yield from controller.allocate("anon")
+            self.latency.record(controller.engine.now - start)
+            # Steady state: release the mapping before the next round.
+            controller.mm.drop_anon(cfg.fault_batch)
+
+    def file_writer(self, index: int):
+        """fio random writer: dirty pages up to the shared target."""
+        cfg = self.config
+        rng = self.rng.stream(f"writer-{index}")
+        controller = self.controller
+        mm = controller.mm
+        yield controller.cpu.acquire()
+        while True:
+            dirty_load = mm.file_dirty + mm.writeback
+            if dirty_load < self._dirty_target:
+                if mm.file_clean > 0 and rng.random() < 0.6:
+                    mm.dirty_clean_page()  # rewrite a cached block
+                else:
+                    yield from controller.allocate("file_dirty")
+            yield from controller.idle(
+                max(1000.0, rng.gauss(cfg.writer_think_ns,
+                                      0.25 * cfg.writer_think_ns))
+            )
+
+    def file_reader(self, index: int):
+        """fio random reader: populates clean page-cache pages."""
+        cfg = self.config
+        rng = self.rng.stream(f"reader-{index}")
+        controller = self.controller
+        mm = controller.mm
+        yield controller.cpu.acquire()
+        while True:
+            # Cold read brings a page in; warm read is free.
+            if rng.random() < 0.5 or mm.file_clean < mm.total // 20:
+                yield from controller.allocate("file_clean")
+            yield from controller.idle(
+                max(1000.0, rng.gauss(cfg.reader_think_ns,
+                                      0.25 * cfg.reader_think_ns))
+            )
+
+    def memory_hog(self, index: int):
+        """Anon hog: repeatedly grows a mapping, holds it, drops it.
+
+        The grow/release cycle is what makes stutterp *stutter*: each
+        growth burst drives the free list through the watermarks and
+        forces direct reclaim on whoever is allocating at that moment.
+        """
+        cfg = self.config
+        rng = self.rng.stream(f"hog-{index}")
+        controller = self.controller
+        mm = controller.mm
+        _, _, hogs = cfg.worker_mix()
+        my_target = max(32, min(cfg.hog_pages,
+                                self._hog_target // hogs))
+        # Stagger cycle starts so bursts overlap irregularly.
+        yield rng.uniform(0, cfg.hog_pause_ns)
+        yield controller.cpu.acquire()
+        while True:
+            held = 0
+            while held < my_target:
+                got = yield from controller.allocate("anon")
+                if got:
+                    held += 1
+                yield max(500.0, rng.gauss(cfg.hog_think_ns,
+                                           0.3 * cfg.hog_think_ns))
+            yield from controller.idle(
+                max(1000.0, rng.gauss(cfg.hog_hold_ns,
+                                      0.2 * cfg.hog_hold_ns))
+            )
+            mm.drop_anon(held)
+            yield from controller.idle(
+                max(1000.0, rng.gauss(cfg.hog_pause_ns,
+                                      0.3 * cfg.hog_pause_ns))
+            )
+
+    def bodies(self):
+        """All worker generators for this run."""
+        writers, readers, hogs = self.config.worker_mix()
+        yield self.latency_worker()
+        for i in range(writers):
+            yield self.file_writer(i)
+        for i in range(readers):
+            yield self.file_reader(i)
+        for i in range(hogs):
+            yield self.memory_hog(i)

@@ -1,0 +1,62 @@
+"""Tests for the ASCII figure rendering and the CLI."""
+
+import pytest
+
+from repro.bench.figures import BAR_WIDTH, bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_longest_value_gets_full_width(self):
+        text = bar_chart(["a", "b"], [1.0, 0.5])
+        bars = [line.split()[-1] for line in text.splitlines()]
+        assert bars[0] == "+" * BAR_WIDTH
+        assert bars[1] == "+" * (BAR_WIDTH // 2)
+
+    def test_negative_values_use_minus_bars(self):
+        text = bar_chart(["x"], [-0.4])
+        assert "-" * 5 in text
+        assert "+" not in text.split()[-1]
+
+    def test_zero_series(self):
+        text = bar_chart(["x"], [0.0])
+        assert "x" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == "<empty>"
+
+    def test_custom_format(self):
+        text = bar_chart(["a"], [3.0], fmt=lambda v: f"{v:.0f}ms")
+        assert "3ms" in text
+
+
+class TestGroupedBarChart:
+    def test_rows_per_group_and_series(self):
+        text = grouped_bar_chart(["g1", "g2"],
+                                 {"a": [0.1, 0.2], "b": [0.3, 0.4]})
+        assert "g1 a" in text and "g2 b" in text
+
+
+class TestCli:
+    def test_models_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "perceptron" in out
+
+    def test_unknown_command_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_experiment_registry_covers_all_figures(self):
+        from repro.__main__ import EXPERIMENTS
+
+        assert set(EXPERIMENTS) == {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "latency",
+        }

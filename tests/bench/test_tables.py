@@ -1,0 +1,91 @@
+"""Tests for the bench formatting helpers and experiment drivers."""
+
+from repro.bench.tables import format_table, pct, series_summary
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long-header"],
+                            [["xxxxx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+        assert "long-header" in lines[0]
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestPct:
+    def test_signs(self):
+        assert pct(0.5) == "+50.0%"
+        assert pct(-0.125) == "-12.5%"
+
+
+class TestSeriesSummary:
+    def test_short_series_verbatim(self):
+        assert series_summary([1.0, 2.0]) == "1 -> 2"
+
+    def test_long_series_downsampled(self):
+        summary = series_summary(list(range(100)), points=4)
+        assert summary.count("->") == 3
+        assert summary.startswith("0")
+        assert summary.endswith("99")
+
+    def test_empty(self):
+        assert series_summary([]) == "<empty>"
+
+
+class TestExperimentDrivers:
+    """Smoke tests: each driver runs end to end at tiny scale."""
+
+    def test_fig2_driver(self):
+        from repro.bench.experiments.fig2 import run_figure2
+
+        result = run_figure2(workloads=("ssca2",), thread_counts=(2,),
+                             seeds=(0,))
+        assert len(result.rows) == 1
+        assert result.average_pss_improvement == \
+            result.rows[0].pss_improvement
+
+    def test_fig3_driver_structure(self):
+        from repro.jit.polybench import KERNELS
+        from repro.jit.runner import run_polybench_suite
+
+        subset = {"gemm": KERNELS["gemm"], "mvt": KERNELS["mvt"]}
+        suite = run_polybench_suite(5, kernels=subset)
+        assert len(suite.comparisons) == 2
+        assert suite.iterations == 5
+
+    def test_fig5_driver(self):
+        from repro.bench.experiments.fig5 import run_figure5
+
+        result = run_figure5(scale=0.02)
+        assert len(result.comparisons) == 4
+        names = {c.benchmark for c in result.comparisons}
+        assert names == {"aiohttp", "djangocms", "flaskblogging",
+                         "gunicorn"}
+
+    def test_fig6_driver(self):
+        from repro.bench.experiments.fig6 import run_figure6
+
+        result = run_figure6(workers=(12,), pss_runs=1,
+                             duration_ns=30_000_000.0)
+        assert len(result.columns) == 1
+        assert len(result.columns[0].pss_run_improvements) == 1
+
+    def test_latency_driver(self):
+        from repro.bench.experiments.latency import run_latency
+
+        result = run_latency(calls=200)
+        assert result.simulated_speedup > 16
+        assert result.wall_vdso_ns > 0
+
+    def test_drivers_have_mains(self):
+        from repro.bench import experiments
+
+        for module in (experiments.fig2, experiments.fig3,
+                       experiments.fig4, experiments.fig5,
+                       experiments.fig6, experiments.latency):
+            assert callable(module.main)

@@ -1,0 +1,65 @@
+"""Unit and property tests for feature hashing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hashing import hash_feature, mix64, table_index
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_zero_is_not_fixed_point(self):
+        # splitmix64 maps 0 -> 0; our usage always salts, but document it.
+        assert mix64(1) != 1
+
+    def test_distinct_inputs_distinct_outputs_smoke(self):
+        outputs = {mix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000
+
+    @given(st.integers())
+    def test_range_is_64_bit(self, value):
+        assert 0 <= mix64(value) < 2**64
+
+    @given(st.integers())
+    def test_negative_inputs_accepted(self, value):
+        assert mix64(value) == mix64(value)
+
+
+class TestHashFeature:
+    def test_feature_index_salts_hash(self):
+        assert hash_feature(0, 42) != hash_feature(1, 42)
+
+    def test_seed_decorrelates_domains(self):
+        assert hash_feature(0, 42, seed=0) != hash_feature(0, 42, seed=1)
+
+    def test_same_inputs_same_hash(self):
+        assert hash_feature(3, -17, seed=9) == hash_feature(3, -17, seed=9)
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(),
+           st.integers(min_value=0, max_value=2**32))
+    def test_always_64_bit(self, index, value, seed):
+        assert 0 <= hash_feature(index, value, seed) < 2**64
+
+
+class TestTableIndex:
+    @given(st.integers(min_value=0, max_value=15), st.integers(),
+           st.integers(min_value=1, max_value=4096))
+    def test_index_in_range(self, feature_index, value, entries):
+        assert 0 <= table_index(feature_index, value, entries) < entries
+
+    def test_distribution_is_roughly_uniform(self):
+        entries = 64
+        counts = [0] * entries
+        n = 64 * 200
+        for v in range(n):
+            counts[table_index(0, v, entries)] += 1
+        expected = n / entries
+        # Loose uniformity bound: no bucket off by more than 50%.
+        assert all(0.5 * expected < c < 1.5 * expected for c in counts)
+
+    def test_sequential_values_spread(self):
+        # Sequential counter values (common in practice) must not cluster.
+        idx = [table_index(0, v, 1024) for v in range(100)]
+        assert len(set(idx)) > 90

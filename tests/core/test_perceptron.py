@@ -1,0 +1,165 @@
+"""Unit and property tests for the hashed perceptron predictor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PSSConfig
+from repro.core.perceptron import HashedPerceptron
+
+
+def make(num_features=2, **kwargs):
+    kwargs.setdefault("entries_per_feature", 256)
+    return HashedPerceptron(PSSConfig(num_features=num_features, **kwargs))
+
+
+class TestPredictBasics:
+    def test_initial_prediction_is_zero_and_true(self):
+        p = make()
+        assert p.predict([1, 2]) == 0
+        assert p.decide([1, 2]) is True  # 0 >= threshold 0
+
+    def test_threshold_shifts_decision(self):
+        p = make(threshold=5)
+        assert p.decide([1, 2]) is False
+
+    def test_score_equals_predict(self):
+        p = make()
+        p.update([3, 4], True)
+        assert p.predict([3, 4]) == p.score([3, 4])
+
+
+class TestLearning:
+    def test_rewards_push_positive(self):
+        p = make()
+        for _ in range(10):
+            p.update([1, 2], True)
+        assert p.predict([1, 2]) > 0
+
+    def test_penalties_push_negative(self):
+        p = make()
+        for _ in range(10):
+            p.update([1, 2], False)
+        assert p.predict([1, 2]) < 0
+
+    def test_learns_feature_dependent_rule(self):
+        """Features where direction differs must get opposing predictions."""
+        p = make()
+        for _ in range(30):
+            p.update([100, 1], True)
+            p.update([200, 2], False)
+        assert p.decide([100, 1]) is True
+        assert p.decide([200, 2]) is False
+
+    def test_margin_stops_training_when_confident(self):
+        p = make(training_margin=3)
+        for _ in range(100):
+            p.update([1, 2], True)
+        confident = p.predict([1, 2])
+        p.update([1, 2], True)  # should be a no-op: agreed and confident
+        assert p.predict([1, 2]) == confident
+
+    def test_recovers_from_lock_in(self):
+        """The paper's anti-trap property: after heavy penalties, a modest
+        run of rewards flips the decision back (weights cannot run away)."""
+        p = make(weight_bits=6, training_margin=10)
+        for _ in range(500):
+            p.update([1, 2], False)
+        assert p.decide([1, 2]) is False
+        flips_after = None
+        for i in range(200):
+            p.update([1, 2], True)
+            if p.decide([1, 2]):
+                flips_after = i + 1
+                break
+        assert flips_after is not None
+        # Margin + saturation bound recovery: generous upper bound.
+        assert flips_after <= 60
+
+
+class TestReset:
+    def test_selective_reset_keeps_other_entries(self):
+        p = make()
+        for _ in range(20):
+            p.update([1, 2], True)
+            p.update([50, 60], False)
+        p.reset([1, 2], reset_all=False)
+        assert p.predict([50, 60]) < 0
+
+    def test_full_reset_zeroes_all(self):
+        p = make()
+        for _ in range(20):
+            p.update([1, 2], True)
+        p.reset([1, 2], reset_all=True)
+        assert p.predict([1, 2]) == 0
+        assert p.predict([50, 60]) == 0
+
+
+class TestStateRoundTrip:
+    def test_round_trip(self):
+        p = make()
+        for v in range(30):
+            p.update([v, v + 1], v % 3 != 0)
+        state = p.to_state()
+        q = make()
+        q.load_state(state)
+        for v in range(30):
+            assert q.predict([v, v + 1]) == p.predict([v, v + 1])
+
+
+class TestPerceptronProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(-1000, 1000), st.integers(-1000, 1000),
+                  st.booleans()),
+        max_size=100,
+    ))
+    def test_score_bounded_by_saturation(self, stream):
+        p = make(weight_bits=5)  # weights in -16..15
+        for a, b, direction in stream:
+            p.update([a, b], direction)
+        for a, b, _ in stream:
+            assert -3 * 16 <= p.predict([a, b]) <= 3 * 15
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(-10_000, 10_000), st.integers(-10_000, 10_000))
+    def test_learnability_of_constant_direction(self, a, b):
+        """Any single feature vector trained one way must converge."""
+        p = make()
+        for _ in range(25):
+            p.update([a, b], True)
+        assert p.decide([a, b]) is True
+        for _ in range(60):
+            p.update([a, b], False)
+        assert p.decide([a, b]) is False
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_seed_changes_internal_layout_not_behaviour(self, seed):
+        """Domain seed must not affect learnability, only hashing."""
+        p = HashedPerceptron(PSSConfig(
+            num_features=2, entries_per_feature=256, seed=seed
+        ))
+        for _ in range(20):
+            p.update([11, 22], True)
+        assert p.decide([11, 22]) is True
+
+
+class TestConfigValidation:
+    def test_rejects_zero_features(self):
+        from repro.core.errors import ConfigError
+        with pytest.raises(ConfigError):
+            PSSConfig(num_features=0)
+
+    def test_rejects_too_many_features(self):
+        from repro.core.errors import ConfigError
+        with pytest.raises(ConfigError):
+            PSSConfig(num_features=17)
+
+    def test_effective_margin_default_formula(self):
+        config = PSSConfig(num_features=2)
+        assert config.effective_margin == int(1.93 * 2 + 14)
+
+    def test_effective_margin_override(self):
+        config = PSSConfig(num_features=2, training_margin=7)
+        assert config.effective_margin == 7

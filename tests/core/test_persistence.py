@@ -1,0 +1,138 @@
+"""Tests for snapshot/restore (cross-invocation learning)."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    PredictionService,
+    PSSConfig,
+    load_service,
+    restore_service,
+    save_service,
+    snapshot_service,
+)
+from repro.core.errors import PersistenceError
+
+
+def trained_service():
+    s = PredictionService()
+    s.create_domain("hle", config=PSSConfig(num_features=2))
+    s.create_domain("jit", config=PSSConfig(num_features=3),
+                    model="naive-bayes")
+    for _ in range(20):
+        s.update("hle", [3, 4], True)
+        s.update("jit", [1, 2, 3], False)
+    return s
+
+
+class TestSnapshotRoundTrip:
+    def test_predictions_survive_round_trip(self):
+        s = trained_service()
+        snapshot = snapshot_service(s)
+        fresh = PredictionService()
+        restore_service(fresh, snapshot)
+        assert fresh.predict("hle", [3, 4]) == s.predict("hle", [3, 4])
+        assert fresh.predict("jit", [1, 2, 3]) == s.predict(
+            "jit", [1, 2, 3]
+        )
+
+    def test_config_and_model_name_restored(self):
+        s = trained_service()
+        fresh = PredictionService()
+        restore_service(fresh, snapshot_service(s))
+        assert fresh.domain("jit").model_name == "naive-bayes"
+        assert fresh.domain("jit").config.num_features == 3
+
+    def test_stats_restored_when_included(self):
+        s = trained_service()
+        fresh = PredictionService()
+        restore_service(fresh, snapshot_service(s, include_stats=True))
+        assert fresh.domain("hle").stats.updates == 20
+
+    def test_stats_omitted_when_excluded(self):
+        s = trained_service()
+        fresh = PredictionService()
+        restore_service(fresh, snapshot_service(s, include_stats=False))
+        assert fresh.domain("hle").stats.updates == 0
+
+    def test_snapshot_is_json_serializable(self):
+        snapshot = snapshot_service(trained_service())
+        text = json.dumps(snapshot)
+        assert json.loads(text) == snapshot
+
+    def test_restore_replaces_existing_domain(self):
+        s = trained_service()
+        snapshot = snapshot_service(s)
+        target = PredictionService()
+        target.create_domain("hle", config=PSSConfig(num_features=2))
+        for _ in range(50):
+            target.update("hle", [3, 4], False)
+        restore_service(target, snapshot)
+        assert target.predict("hle", [3, 4]) > 0  # trained positive
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        s = trained_service()
+        path = tmp_path / "pss.json"
+        save_service(s, path)
+        fresh = PredictionService()
+        load_service(fresh, path)
+        assert fresh.predict("hle", [3, 4]) > 0
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_service(PredictionService(), tmp_path / "missing.json")
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError):
+            load_service(PredictionService(), path)
+
+
+class TestSnapshotValidation:
+    def test_wrong_version_rejected(self):
+        with pytest.raises(PersistenceError):
+            restore_service(
+                PredictionService(), {"version": 99, "domains": {}}
+            )
+
+    def test_missing_keys_rejected(self):
+        snapshot = {"version": 1, "domains": {"d": {"config": {}}}}
+        with pytest.raises(PersistenceError):
+            restore_service(PredictionService(), snapshot)
+
+    def test_malformed_config_rejected(self):
+        snapshot = {
+            "version": 1,
+            "domains": {
+                "d": {
+                    "config": {"num_features": 99},
+                    "model_name": "perceptron",
+                    "model_state": {},
+                }
+            },
+        }
+        with pytest.raises(PersistenceError):
+            restore_service(PredictionService(), snapshot)
+
+
+class TestCrossInvocationLearning:
+    def test_second_invocation_starts_warm(self, tmp_path):
+        """The Figure 6 pattern: run N+1 inherits run N's weights."""
+        path = tmp_path / "state.json"
+
+        # Run 1: cold start, learn that [8, 9] should be True.
+        run1 = PredictionService()
+        run1.create_domain("d", config=PSSConfig(num_features=2))
+        assert run1.predict("d", [8, 9]) == 0  # cold
+        for _ in range(15):
+            run1.update("d", [8, 9], True)
+        save_service(run1, path)
+
+        # Run 2: a fresh process restores and is immediately warm.
+        run2 = PredictionService()
+        load_service(run2, path)
+        assert run2.predict("d", [8, 9]) > 0

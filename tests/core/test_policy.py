@@ -1,0 +1,119 @@
+"""Tests for the access / sharing policy layer."""
+
+import pytest
+
+from repro.core.errors import PolicyError
+from repro.core.policy import (
+    ClientIdentity,
+    DomainPolicy,
+    SharingMode,
+    open_policy,
+    private_policy,
+)
+
+OWNER = ClientIdentity(uid=1000, program="appA")
+OTHER = ClientIdentity(uid=1001, program="appB")
+
+
+class TestOpenPolicy:
+    def test_everyone_may_do_everything(self):
+        p = open_policy()
+        for who in (OWNER, OTHER, ClientIdentity.kernel()):
+            assert p.may_predict(who)
+            assert p.may_update(who)
+            assert p.may_reset(who)
+
+
+class TestPrivatePolicy:
+    def test_owner_only(self):
+        p = private_policy(OWNER)
+        assert p.may_predict(OWNER)
+        assert p.may_update(OWNER)
+        assert p.may_reset(OWNER)
+        assert not p.may_predict(OTHER)
+        assert not p.may_update(OTHER)
+        assert not p.may_reset(OTHER)
+
+    def test_check_raises_policy_error(self):
+        p = private_policy(OWNER)
+        with pytest.raises(PolicyError):
+            p.check_predict(OTHER, "d")
+        with pytest.raises(PolicyError):
+            p.check_update(OTHER, "d")
+        with pytest.raises(PolicyError):
+            p.check_reset(OTHER, "d")
+
+
+class TestReadOnlySharing:
+    def test_anyone_predicts_owner_updates(self):
+        p = DomainPolicy(owner=OWNER, mode=SharingMode.READ_ONLY)
+        assert p.may_predict(OTHER)
+        assert not p.may_update(OTHER)
+        assert p.may_update(OWNER)
+        assert not p.may_reset(OTHER)
+
+
+class TestAllowLists:
+    def test_uid_allow_list(self):
+        p = DomainPolicy(owner=OWNER, mode=SharingMode.SHARED,
+                         allowed_uids=frozenset({1001}))
+        assert p.may_update(OTHER)  # uid 1001 allowed
+        stranger = ClientIdentity(uid=2000, program="appB")
+        assert not p.may_update(stranger)
+
+    def test_program_allow_list(self):
+        p = DomainPolicy(owner=OWNER, mode=SharingMode.SHARED,
+                         allowed_programs=frozenset({"appB"}))
+        assert p.may_predict(OTHER)
+        stranger = ClientIdentity(uid=1001, program="appC")
+        assert not p.may_predict(stranger)
+
+    def test_both_lists_must_match(self):
+        p = DomainPolicy(owner=OWNER, mode=SharingMode.SHARED,
+                         allowed_uids=frozenset({1001}),
+                         allowed_programs=frozenset({"appB"}))
+        assert p.may_update(OTHER)
+        assert not p.may_update(ClientIdentity(uid=1001, program="appC"))
+        assert not p.may_update(ClientIdentity(uid=9, program="appB"))
+
+    def test_owner_bypasses_lists(self):
+        p = DomainPolicy(owner=OWNER, mode=SharingMode.SHARED,
+                         allowed_uids=frozenset({42}))
+        assert p.may_update(OWNER)
+
+    def test_restricted_share_reset_is_owner_only(self):
+        p = DomainPolicy(owner=OWNER, mode=SharingMode.SHARED,
+                         allowed_uids=frozenset({1001}))
+        assert not p.may_reset(OTHER)
+        assert p.may_reset(OWNER)
+
+
+class TestServiceIntegration:
+    def test_service_enforces_policy_through_handles(self):
+        from repro.core import PredictionService, PSSConfig
+
+        service = PredictionService()
+        service.create_domain(
+            "private", config=PSSConfig(num_features=1),
+            policy=private_policy(OWNER),
+        )
+        owner_client = service.connect("private", identity=OWNER)
+        other_client = service.connect("private", identity=OTHER)
+        assert owner_client.predict([1]) == 0
+        with pytest.raises(PolicyError):
+            other_client.predict([1])
+
+    def test_policy_error_on_buffered_update_surfaces_at_flush(self):
+        from repro.core import PredictionService, PSSConfig
+
+        service = PredictionService()
+        service.create_domain(
+            "private", config=PSSConfig(num_features=1),
+            policy=private_policy(OWNER),
+        )
+        other_client = service.connect(
+            "private", identity=OTHER, batch_size=8
+        )
+        other_client.update([1], True)  # buffered, no check yet
+        with pytest.raises(PolicyError):
+            other_client.flush()

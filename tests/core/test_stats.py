@@ -1,0 +1,76 @@
+"""Tests for prediction and latency accounting."""
+
+import pytest
+
+from repro.core.stats import (
+    DomainReport,
+    LatencyAccount,
+    PredictionStats,
+)
+
+
+class TestPredictionStats:
+    def test_prediction_counting_respects_threshold(self):
+        stats = PredictionStats()
+        stats.record_prediction(5, threshold=0)
+        stats.record_prediction(-3, threshold=0)
+        stats.record_prediction(0, threshold=0)  # ties are positive
+        assert stats.predictions == 3
+        assert stats.positive_predictions == 2
+        assert stats.negative_predictions == 1
+
+    def test_update_counting(self):
+        stats = PredictionStats()
+        for direction in (True, True, False):
+            stats.record_update(direction)
+        assert stats.updates == 3
+        assert stats.rewards == 2
+        assert stats.penalties == 1
+        assert stats.reward_rate == pytest.approx(2 / 3)
+
+    def test_reward_rate_empty(self):
+        assert PredictionStats().reward_rate == 0.0
+
+    def test_merge(self):
+        a = PredictionStats(predictions=3, positive_predictions=2,
+                            updates=4, rewards=1, penalties=3, resets=1)
+        b = PredictionStats(predictions=1, positive_predictions=1,
+                            updates=2, rewards=2, penalties=0, resets=0)
+        a.merge(b)
+        assert a.predictions == 4
+        assert a.rewards == 3
+        assert a.resets == 1
+
+
+class TestLatencyAccount:
+    def test_charges_accumulate(self):
+        account = LatencyAccount()
+        account.charge_vdso(4.19)
+        account.charge_vdso(4.19)
+        account.charge_syscall(68.0, records=5)
+        assert account.vdso_calls == 2
+        assert account.syscalls == 1
+        assert account.update_records == 5
+        assert account.total_ns == pytest.approx(8.38 + 68.0)
+
+    def test_means(self):
+        account = LatencyAccount()
+        assert account.mean_vdso_ns == 0.0
+        assert account.mean_syscall_ns == 0.0
+        account.charge_vdso(4.0)
+        account.charge_vdso(6.0)
+        assert account.mean_vdso_ns == pytest.approx(5.0)
+
+    def test_snapshot_keys(self):
+        snap = LatencyAccount().snapshot()
+        assert set(snap) == {
+            "vdso_ns", "syscall_ns", "total_ns", "vdso_calls",
+            "syscalls", "update_records",
+        }
+
+
+class TestDomainReport:
+    def test_defaults(self):
+        report = DomainReport(name="d", model="perceptron")
+        assert report.stats.predictions == 0
+        assert report.latency.total_ns == 0.0

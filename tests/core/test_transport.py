@@ -1,0 +1,154 @@
+"""Tests for vDSO/syscall transports and the batch update buffer."""
+
+import pytest
+
+from repro.core.config import LatencyModel
+from repro.core.errors import TransportError
+from repro.core.transport import (
+    BatchUpdateBuffer,
+    SyscallTransport,
+    VdsoTransport,
+    make_transport,
+)
+
+
+class RecordingTarget:
+    """Minimal service target recording the calls it receives."""
+
+    def __init__(self):
+        self.calls = []
+
+    def predict(self, features):
+        self.calls.append(("predict", tuple(features)))
+        return 7
+
+    def update(self, features, direction):
+        self.calls.append(("update", tuple(features), direction))
+
+    def reset(self, features, reset_all):
+        self.calls.append(("reset", tuple(features), reset_all))
+
+
+LAT = LatencyModel(vdso_predict_ns=4.19, syscall_ns=68.0,
+                   batch_record_ns=1.0)
+
+
+class TestSyscallTransport:
+    def test_predict_charges_syscall(self):
+        target = RecordingTarget()
+        t = SyscallTransport(target, LAT)
+        assert t.predict([1, 2]) == 7
+        assert t.account.syscall_ns == 68.0
+        assert t.account.vdso_ns == 0.0
+
+    def test_update_immediate_delivery(self):
+        target = RecordingTarget()
+        t = SyscallTransport(target, LAT)
+        t.update([1, 2], True)
+        assert target.calls == [("update", (1, 2), True)]
+        assert t.account.update_records == 1
+
+    def test_ten_calls_cost_ten_syscalls(self):
+        target = RecordingTarget()
+        t = SyscallTransport(target, LAT)
+        for _ in range(5):
+            t.predict([1, 2])
+            t.update([1, 2], True)
+        assert t.account.syscalls == 10
+        assert t.account.syscall_ns == pytest.approx(680.0)
+
+
+class TestVdsoTransport:
+    def test_predict_charges_vdso_only(self):
+        target = RecordingTarget()
+        t = VdsoTransport(target, LAT)
+        assert t.predict([1, 2]) == 7
+        assert t.account.vdso_ns == pytest.approx(4.19)
+        assert t.account.syscall_ns == 0.0
+
+    def test_updates_buffered_until_batch_full(self):
+        target = RecordingTarget()
+        t = VdsoTransport(target, LAT, batch_size=3)
+        t.update([1, 2], True)
+        t.update([3, 4], False)
+        assert target.calls == []  # nothing delivered yet
+        assert t.pending_updates == 2
+        t.update([5, 6], True)  # fills the batch -> flush
+        assert len(target.calls) == 3
+        assert t.pending_updates == 0
+
+    def test_flush_preserves_order(self):
+        target = RecordingTarget()
+        t = VdsoTransport(target, LAT, batch_size=10)
+        t.update([1, 1], True)
+        t.update([2, 2], False)
+        t.flush()
+        assert target.calls == [
+            ("update", (1, 1), True),
+            ("update", (2, 2), False),
+        ]
+
+    def test_batch_cost_amortizes_boundary(self):
+        target = RecordingTarget()
+        t = VdsoTransport(target, LAT, batch_size=32)
+        for _ in range(32):
+            t.update([1, 2], True)
+        # One syscall of 68 + 32 * 1 record ns, not 32 * 68.
+        assert t.account.syscalls == 1
+        assert t.account.syscall_ns == pytest.approx(68.0 + 32.0)
+        assert t.account.update_records == 32
+
+    def test_empty_flush_is_free(self):
+        t = VdsoTransport(RecordingTarget(), LAT)
+        t.flush()
+        assert t.account.syscalls == 0
+
+    def test_reset_flushes_pending_first(self):
+        target = RecordingTarget()
+        t = VdsoTransport(target, LAT, batch_size=10)
+        t.update([1, 2], True)
+        t.reset([0, 0], reset_all=True)
+        kinds = [c[0] for c in target.calls]
+        assert kinds == ["update", "reset"]
+
+    def test_close_flushes(self):
+        target = RecordingTarget()
+        t = VdsoTransport(target, LAT, batch_size=10)
+        t.update([1, 2], True)
+        t.close()
+        assert ("update", (1, 2), True) in target.calls
+
+    def test_vdso_vs_syscall_speedup_matches_paper(self):
+        # The paper reports a >16x latency reduction for predictions.
+        assert LAT.speedup_factor > 16
+
+
+class TestBatchUpdateBuffer:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(TransportError):
+            BatchUpdateBuffer(0)
+
+    def test_add_past_capacity_raises(self):
+        buf = BatchUpdateBuffer(1)
+        buf.add([1], True)
+        with pytest.raises(TransportError):
+            buf.add([2], True)
+
+    def test_drain_empties(self):
+        buf = BatchUpdateBuffer(4)
+        buf.add([1], True)
+        records = buf.drain()
+        assert records == [((1,), True)]
+        assert len(buf) == 0
+        assert buf.drain() == []
+
+
+class TestMakeTransport:
+    def test_known_kinds(self):
+        target = RecordingTarget()
+        assert make_transport("vdso", target).name == "vdso"
+        assert make_transport("syscall", target).name == "syscall"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(TransportError):
+            make_transport("pigeon", RecordingTarget())

@@ -1,0 +1,252 @@
+"""Tests for the simulated HTM machine."""
+
+from repro.htm.machine import HTMConfig, HTMMachine
+from repro.htm.txn import AbortCode, TxAttemptShape
+from repro.sim.engine import Engine
+from repro.sim.process import spawn
+from repro.sim.resources import SimMutex
+
+
+def shape(reads=(), writes=(), duration=100.0, unsupported=False):
+    return TxAttemptShape(
+        read_lines=frozenset(reads),
+        write_lines=frozenset(writes),
+        duration_ns=duration,
+        unsupported=unsupported,
+    )
+
+
+def run_txs(machine, engine, shapes, mutexes=None, starts=None):
+    """Run each shape as its own process; returns the TxResults."""
+    results = [None] * len(shapes)
+    mutexes = mutexes or [None] * len(shapes)
+    starts = starts or [0.0] * len(shapes)
+
+    def body(i):
+        if starts[i]:
+            yield starts[i]
+        results[i] = yield from machine.run_transaction(
+            shapes[i], mutexes[i]
+        )
+
+    for i in range(len(shapes)):
+        spawn(engine, body(i))
+    engine.run()
+    return results
+
+
+class TestCommitPath:
+    def test_single_transaction_commits(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        [result] = run_txs(machine, engine, [shape(writes=[1, 2])])
+        assert result.committed
+        assert machine.stats.commits == 1
+        assert machine.stats.begins == 1
+
+    def test_commit_duration_includes_costs(self):
+        engine = Engine()
+        config = HTMConfig(begin_cost_ns=10, commit_cost_ns=5)
+        machine = HTMMachine(engine, config)
+        [result] = run_txs(machine, engine, [shape(duration=100)])
+        assert result.duration_ns == 115.0
+
+    def test_disjoint_transactions_commit_concurrently(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        results = run_txs(machine, engine, [
+            shape(writes=[1]), shape(writes=[2]), shape(writes=[3]),
+        ])
+        assert all(r.committed for r in results)
+        # Concurrent, so total time ~ one transaction, not three.
+        assert engine.now < 200
+
+
+class TestCapacityAborts:
+    def test_footprint_over_capacity_aborts(self):
+        engine = Engine()
+        config = HTMConfig(capacity_lines=4)
+        machine = HTMMachine(engine, config)
+        [result] = run_txs(machine, engine, [shape(reads=range(10))])
+        assert not result.committed
+        assert result.abort_code is AbortCode.CAPACITY
+
+    def test_capacity_abort_burns_partial_work(self):
+        engine = Engine()
+        config = HTMConfig(capacity_lines=4, begin_cost_ns=0,
+                           abort_cost_ns=50, capacity_abort_fraction=0.1)
+        machine = HTMMachine(engine, config)
+        [result] = run_txs(machine, engine,
+                           [shape(reads=range(10), duration=1000)])
+        assert result.duration_ns == 1000 * 0.1 + 50
+
+    def test_footprint_counts_distinct_union(self):
+        s = shape(reads=[1, 2, 3], writes=[2, 3, 4])
+        assert s.footprint == 4
+
+
+class TestUnsupportedAborts:
+    def test_unsupported_instruction_aborts(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        [result] = run_txs(machine, engine, [shape(unsupported=True)])
+        assert not result.committed
+        assert result.abort_code is AbortCode.UNSUPPORTED
+
+
+class TestConflicts:
+    def test_write_write_conflict_aborts_loser(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        # Same line, overlapping in time; first to commit wins.
+        results = run_txs(machine, engine, [
+            shape(writes=[7], duration=100),
+            shape(writes=[7], duration=300),
+        ])
+        assert results[0].committed
+        assert not results[1].committed
+        assert results[1].abort_code is AbortCode.CONFLICT
+
+    def test_write_read_conflict(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        results = run_txs(machine, engine, [
+            shape(writes=[7], duration=100),
+            shape(reads=[7], duration=300),
+        ])
+        assert results[0].committed
+        assert not results[1].committed
+
+    def test_read_read_no_conflict(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        results = run_txs(machine, engine, [
+            shape(reads=[7], duration=100),
+            shape(reads=[7], duration=300),
+        ])
+        assert all(r.committed for r in results)
+
+    def test_non_overlapping_times_no_conflict(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        results = run_txs(machine, engine, [
+            shape(writes=[7], duration=50),
+            shape(writes=[7], duration=50),
+        ], starts=[0.0, 500.0])
+        assert all(r.committed for r in results)
+
+
+class TestLockSubscription:
+    def test_lock_held_at_begin_aborts(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        mutex = SimMutex(engine)
+
+        def holder():
+            yield mutex.acquire()
+            yield 1000
+            mutex.release()
+
+        spawn(engine, holder())
+        [result] = run_txs(machine, engine, [shape(duration=100)],
+                           mutexes=[mutex], starts=[50.0])
+        assert not result.committed
+        assert result.abort_code is AbortCode.EXPLICIT
+
+    def test_lock_acquisition_aborts_subscribed_tx(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        mutex = SimMutex(engine)
+        results = [None]
+
+        def tx_body():
+            results[0] = yield from machine.run_transaction(
+                shape(duration=1000), mutex
+            )
+
+        def acquirer():
+            yield 100  # let the transaction start first
+            yield mutex.acquire()
+            machine.notify_lock_acquired(mutex)
+            mutex.release()
+
+        spawn(engine, tx_body())
+        spawn(engine, acquirer())
+        engine.run()
+        assert not results[0].committed
+        assert results[0].abort_code is AbortCode.EXPLICIT
+
+
+class TestLockedSectionConflicts:
+    def test_tx_cannot_commit_into_locked_section_data(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        result_box = [None]
+
+        def tx_body():
+            result_box[0] = yield from machine.run_transaction(
+                shape(writes=[42], duration=500), None
+            )
+
+        def locked_body():
+            yield 50
+            section = machine.begin_locked_section(
+                shape(writes=[42], duration=1000)
+            )
+            yield 1000
+            machine.end_locked_section(section)
+
+        spawn(engine, tx_body())
+        spawn(engine, locked_body())
+        engine.run()
+        # Either aborted at section begin (invalidation) or at commit.
+        assert not result_box[0].committed
+
+    def test_disjoint_data_coexists_with_locked_section(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        result_box = [None]
+
+        def tx_body():
+            result_box[0] = yield from machine.run_transaction(
+                shape(writes=[1], duration=500), None
+            )
+
+        def locked_body():
+            section = machine.begin_locked_section(
+                shape(writes=[99], duration=1000)
+            )
+            yield 1000
+            machine.end_locked_section(section)
+
+        spawn(engine, tx_body())
+        spawn(engine, locked_body())
+        engine.run()
+        assert result_box[0].committed
+
+    def test_contention_stretch_grows_with_spinners(self):
+        engine = Engine()
+        machine = HTMMachine(engine)
+        section = machine.begin_locked_section(shape(writes=[1]))
+        base = machine.contention_stretch(0, section)
+        stretched = machine.contention_stretch(5, section)
+        assert base == 1.0
+        assert stretched > base
+        capped = machine.contention_stretch(1000, section)
+        assert capped == machine.config.holder_interference_cap
+
+
+class TestStats:
+    def test_abort_codes_counted(self):
+        engine = Engine()
+        config = HTMConfig(capacity_lines=4)
+        machine = HTMMachine(engine, config)
+        run_txs(machine, engine, [
+            shape(reads=range(10)),       # capacity
+            shape(unsupported=True),      # unsupported
+            shape(writes=[1]),            # commit
+        ])
+        assert machine.stats.aborts_by_code[AbortCode.CAPACITY] == 1
+        assert machine.stats.aborts_by_code[AbortCode.UNSUPPORTED] == 1
+        assert machine.stats.commits == 1
+        assert machine.stats.commit_rate == 1 / 3

@@ -1,0 +1,148 @@
+"""Tests for the STAMP-like workload suite (paper Table 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htm.stamp import (
+    FIGURE2_ORDER,
+    PROFILES,
+    WorkloadInstance,
+    get_profile,
+)
+from repro.htm.stamp.base import SECTION_REGION_STRIDE
+
+
+class TestRegistry:
+    def test_table2_benchmarks_present(self):
+        # Paper Table 2 names (kmeans/vacation appear as low/high pairs).
+        for name in ("intruder", "labyrinth", "yada", "ssca2", "genome"):
+            assert name in PROFILES
+        for base in ("vacation", "kmeans"):
+            assert f"{base}-low" in PROFILES
+            assert f"{base}-high" in PROFILES
+
+    def test_figure2_order_has_nine_subfigures(self):
+        assert len(FIGURE2_ORDER) == 9
+        assert set(FIGURE2_ORDER) == set(PROFILES)
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("quicksort")
+
+    def test_descriptions_match_paper_table2(self):
+        assert PROFILES["intruder"].description == \
+            "Network intrusion detection"
+        assert PROFILES["labyrinth"].description == "Maze routing"
+        assert PROFILES["yada"].description == "Delaunay mesh refinement"
+        assert PROFILES["genome"].description == "Gene sequencing"
+
+
+class TestWorkloadInstance:
+    def test_deterministic_for_seed(self):
+        p = get_profile("genome")
+        a = WorkloadInstance(p, threads=4, seed=7)
+        b = WorkloadInstance(p, threads=4, seed=7)
+        for i in range(20):
+            sa = a.sample_shape(0, a.pick_section(0), i)
+            sb = b.sample_shape(0, b.pick_section(0), i)
+            assert sa == sb
+
+    def test_different_seeds_differ(self):
+        p = get_profile("genome")
+        a = WorkloadInstance(p, threads=4, seed=1)
+        b = WorkloadInstance(p, threads=4, seed=2)
+        shapes_a = [a.sample_shape(0, 0, i).duration_ns for i in range(10)]
+        shapes_b = [b.sample_shape(0, 0, i).duration_ns for i in range(10)]
+        assert shapes_a != shapes_b
+
+    def test_strong_scaling_iterations(self):
+        p = get_profile("ssca2")
+        assert p.iterations_per_thread(1) == p.total_iterations
+        assert p.iterations_per_thread(4) == p.total_iterations // 4
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            WorkloadInstance(get_profile("ssca2"), threads=0)
+
+    def test_sections_use_disjoint_regions(self):
+        p = get_profile("vacation-low")
+        inst = WorkloadInstance(p, threads=1, seed=0)
+        s0 = inst.sample_shape(0, 0, 0)
+        s1 = inst.sample_shape(0, 1, 0)
+        lines0 = s0.read_lines | s0.write_lines
+        lines1 = s1.read_lines | s1.write_lines
+        assert not lines0 & lines1
+        assert all(line < SECTION_REGION_STRIDE for line in lines0)
+
+    def test_labyrinth_footprints_bust_capacity(self):
+        p = get_profile("labyrinth")
+        inst = WorkloadInstance(p, threads=1, seed=0)
+        shapes = [inst.sample_shape(0, 0, i) for i in range(30)]
+        over = sum(1 for s in shapes if s.footprint > 512)
+        assert over >= 27  # essentially always over HTM capacity
+
+    def test_ssca2_footprints_are_tiny(self):
+        p = get_profile("ssca2")
+        inst = WorkloadInstance(p, threads=1, seed=0)
+        shapes = [inst.sample_shape(0, 0, i) for i in range(30)]
+        assert all(s.footprint < 32 for s in shapes)
+
+    def test_yada_capacity_tail_is_bursty(self):
+        p = get_profile("yada")
+        inst = WorkloadInstance(p, threads=1, seed=0)
+        big = [
+            inst.sample_shape(0, 0, i).footprint > 512
+            for i in range(1500)
+        ]
+        transitions = sum(
+            1 for a, b in zip(big, big[1:]) if a != b
+        )
+        tail = sum(big)
+        assert tail > 50  # the tail exists
+        # Bursty: fewer transitions than tail entries means runs of
+        # consecutive blowups (an iid process would flip nearly twice
+        # per tail entry at this density).
+        assert transitions < tail
+
+    def test_phase_changes_span(self):
+        p = get_profile("genome")
+        hot = p.span_at(0.1, 0)
+        cool = p.span_at(0.9, 0)
+        assert hot < cool
+
+    def test_section_heat_scales_span(self):
+        p = get_profile("intruder")  # heat (1.0, 0.05, 1.0)
+        assert p.span_at(0.9, 1) < p.span_at(0.9, 0)
+
+
+class TestSectionSelection:
+    def test_weights_bias_selection(self):
+        p = get_profile("genome")  # weights (0.7, 0.2, 0.1)
+        inst = WorkloadInstance(p, threads=1, seed=0)
+        counts = [0] * p.sections
+        for _ in range(2000):
+            counts[inst.pick_section(0)] += 1
+        assert counts[0] > counts[1] > counts[2]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000), st.integers(1, 16))
+    def test_pick_section_in_range(self, seed, threads):
+        p = get_profile("vacation-high")
+        inst = WorkloadInstance(p, threads=threads, seed=seed)
+        for tid in range(threads):
+            assert 0 <= inst.pick_section(tid) < p.sections
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.sampled_from(sorted(PROFILES)), st.integers(0, 100))
+def test_all_shapes_well_formed(name, seed):
+    profile = PROFILES[name]
+    inst = WorkloadInstance(profile, threads=2, seed=seed)
+    for i in range(5):
+        section = inst.pick_section(0)
+        s = inst.sample_shape(0, section, i)
+        assert s.duration_ns >= 30.0
+        assert len(s.read_lines) >= 1
+        assert len(s.write_lines) >= 1
+        assert inst.non_tx_work(0) >= 10.0

@@ -1,0 +1,96 @@
+"""Tests for the JIT parameter table (paper Table 1)."""
+
+import pytest
+
+from repro.jit.params import (
+    DEFAULT_LADDER_INDEX,
+    DEFAULTS,
+    JitParams,
+    LADDER,
+    MULTIPLIERS,
+    TRACE_LIMIT_CAP,
+    scaled,
+    with_param,
+)
+
+
+class TestTable1Defaults:
+    """The paper's Table 1, asserted verbatim."""
+
+    def test_default_values(self):
+        params = JitParams()
+        assert params.decay == 40
+        assert params.function_threshold == 1619
+        assert params.loop_longevity == 1000
+        assert params.threshold == 1039
+        assert params.trace_eagerness == 200
+        assert params.trace_limit == 6000
+
+    def test_defaults_table_complete(self):
+        assert set(DEFAULTS) == {
+            "decay", "function_threshold", "loop_longevity",
+            "threshold", "trace_eagerness", "trace_limit",
+        }
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            JitParams(threshold=0)
+
+
+class TestScaling:
+    def test_multipliers_match_section_4_3(self):
+        assert MULTIPLIERS == (0.25, 0.5, 1.0, 2.0, 4.0)
+
+    def test_unit_multiplier_is_default(self):
+        assert scaled(1.0) == JitParams()
+
+    def test_trace_limit_4x_capped_at_16000(self):
+        # "trace_limit of 4X ... is set to 16000 instead of 24000
+        # because of a range limit."
+        assert scaled(4.0).trace_limit == TRACE_LIMIT_CAP == 16_000
+
+    def test_aggressive_lowers_thresholds(self):
+        aggressive = scaled(4.0)
+        default = JitParams()
+        assert aggressive.threshold < default.threshold
+        assert aggressive.function_threshold < default.function_threshold
+        assert aggressive.trace_eagerness < default.trace_eagerness
+
+    def test_aggressive_raises_limits(self):
+        aggressive = scaled(4.0)
+        default = JitParams()
+        assert aggressive.trace_limit > default.trace_limit
+        assert aggressive.loop_longevity > default.loop_longevity
+
+    def test_conservative_mirrors(self):
+        conservative = scaled(0.25)
+        default = JitParams()
+        assert conservative.threshold > default.threshold
+        assert conservative.trace_limit < default.trace_limit
+
+    def test_unknown_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            scaled(3.0)
+
+
+class TestLadder:
+    def test_ladder_has_five_rungs(self):
+        assert len(LADDER) == 5
+
+    def test_default_index_points_at_default(self):
+        assert LADDER[DEFAULT_LADDER_INDEX] == JitParams()
+
+    def test_ladder_monotone_in_threshold(self):
+        thresholds = [p.threshold for p in LADDER]
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_ladder_monotone_in_trace_limit(self):
+        limits = [p.trace_limit for p in LADDER]
+        assert limits == sorted(limits)
+
+
+class TestWithParam:
+    def test_override_single_field(self):
+        params = with_param(JitParams(), threshold=500)
+        assert params.threshold == 500
+        assert params.trace_limit == 6000

@@ -1,0 +1,98 @@
+"""Property-based tests for the mini-VM and tracing JIT."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jit.interp import VM
+from repro.jit.params import JitParams, LADDER, scaled, with_param
+from repro.jit.program import Block, Guard, Loop, Program
+
+
+def nests(max_depth=3):
+    """Strategy generating random (but bounded) loop-nest programs."""
+    leaf = st.builds(
+        Loop,
+        loop_id=st.sampled_from([f"L{i}" for i in range(6)]),
+        trips=st.integers(1, 20),
+        body_ops=st.integers(1, 80),
+        guards=st.lists(
+            st.builds(Guard, every=st.integers(2, 9),
+                      side_ops=st.integers(0, 30)),
+            max_size=1,
+        ).map(tuple),
+    )
+
+    def wrap(children):
+        return st.builds(
+            Loop,
+            loop_id=st.sampled_from([f"P{i}" for i in range(6)]),
+            trips=st.integers(1, 8),
+            body_ops=st.integers(1, 20),
+            children=st.tuples(children),
+        )
+
+    return st.recursive(leaf, wrap, max_leaves=max_depth)
+
+
+def program_from(nodes):
+    return Program("prop", tuple(nodes), setup_ops=10)
+
+
+class TestVmProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(nests(), st.integers(1, 8))
+    def test_time_is_positive_and_deterministic(self, loop, iterations):
+        program = program_from([loop])
+        a = VM(JitParams())
+        b = VM(JitParams())
+        times_a = [a.run_program(program) for _ in range(iterations)]
+        times_b = [b.run_program(program) for _ in range(iterations)]
+        assert times_a == times_b
+        assert all(t > 0 for t in times_a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(nests())
+    def test_instructions_independent_of_params(self, loop):
+        """Parameters change *time*, never the work performed."""
+        program = program_from([loop])
+        counts = []
+        for params in (scaled(0.25), JitParams(), scaled(4.0)):
+            vm = VM(params)
+            for _ in range(4):
+                vm.run_program(program)
+            counts.append(vm.counters.instructions)
+        assert counts[0] == counts[1] == counts[2]
+
+    @settings(max_examples=30, deadline=None)
+    @given(nests())
+    def test_steady_state_not_slower_than_interp_only(self, loop):
+        """A JIT that compiles must not end up slower at steady state
+        than never compiling (costs are front-loaded)."""
+        program = program_from([loop])
+        jit = VM(JitParams())
+        nojit = VM(with_param(JitParams(), threshold=10**9))
+        for _ in range(30):  # warmup to steady state
+            jit.run_program(program)
+            nojit.run_program(program)
+        steady_jit = jit.run_program(program)
+        steady_nojit = nojit.run_program(program)
+        assert steady_jit <= steady_nojit * 1.01
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, len(LADDER) - 1), nests())
+    def test_every_ladder_rung_runs(self, index, loop):
+        vm = VM(LADDER[index])
+        program = program_from([loop])
+        for _ in range(3):
+            assert vm.run_program(program) > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(1, 500), min_size=1, max_size=5))
+    def test_blocks_cost_linear(self, ops_list):
+        vm = VM(JitParams())
+        program = Program(
+            "blocks", tuple(Block(ops) for ops in ops_list), 0
+        )
+        elapsed = vm.run_program(program)
+        expected = sum(ops_list) * vm.costs.interp_ns_per_op
+        assert elapsed == expected

@@ -1,0 +1,61 @@
+"""Property-based tests for memory-management invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mm import (
+    GormanThrottle,
+    NeverThrottle,
+    StutterpConfig,
+    VanillaCongestionWait,
+    run_stutterp,
+)
+from repro.mm.blockdev import BlockDevice
+from repro.mm.reclaim import ReclaimController
+from repro.mm.state import MemoryState
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+
+POLICIES = [NeverThrottle, VanillaCongestionWait, GormanThrottle]
+
+
+class TestConservationUnderLoad:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 40), st.integers(0, 50),
+           st.sampled_from(POLICIES))
+    def test_pages_conserved_through_full_runs(self, workers, seed,
+                                               policy_cls):
+        """run_stutterp calls mm.check() at the end; this drives it
+        across random worker counts, seeds, and policies."""
+        result = run_stutterp(workers, policy_cls(), seed=seed,
+                              duration_ns=20_000_000.0)
+        assert result.vmstats.pgscan >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 64), st.integers(0, 20))
+    def test_reclaim_rounds_conserve_pages(self, mix_seed, rounds):
+        engine = Engine()
+        mm = MemoryState(total=400)
+        device = BlockDevice(engine, service_ns_per_page=500,
+                             queue_limit=32)
+        controller = ReclaimController(engine, mm, device,
+                                       NeverThrottle(),
+                                       RngStreams(mix_seed))
+        rng = RngStreams(mix_seed).stream("mix")
+        for _ in range(300):
+            kind = rng.choice(["anon", "file_clean", "file_dirty"])
+            if not mm.allocate(kind):
+                break
+        for _ in range(rounds):
+            controller.scan_round()
+            mm.check()
+        engine.run()
+        mm.check()
+        # Eventually every submitted writeback completed.
+        assert mm.writeback == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 64))
+    def test_worker_mix_never_empty(self, workers):
+        x, y, z = StutterpConfig(workers=workers).worker_mix()
+        assert min(x, y, z) >= 1

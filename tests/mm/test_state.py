@@ -1,0 +1,149 @@
+"""Tests for memory state, watermarks, and the block device."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mm.blockdev import BlockDevice
+from repro.mm.state import MemoryState, Watermarks
+from repro.sim.engine import Engine
+
+
+class TestWatermarks:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            Watermarks(min_frac=0.2, low_frac=0.1, high_frac=0.3)
+
+    def test_page_thresholds(self):
+        mm = MemoryState(total=1000)
+        assert mm.min_pages == 40
+        assert mm.low_pages == 80
+        assert mm.high_pages == 120
+
+    def test_below_flags(self):
+        mm = MemoryState(total=1000)
+        mm.free = 39
+        mm.anon = 961
+        assert mm.below_min and mm.below_low
+        mm.free, mm.anon = 79, 921
+        assert not mm.below_min and mm.below_low
+        mm.free, mm.anon = 120, 880
+        assert not mm.below_low
+
+
+class TestPageMovement:
+    def test_starts_all_free(self):
+        mm = MemoryState(total=500)
+        assert mm.free == 500
+        mm.check()
+
+    def test_allocate_each_kind(self):
+        mm = MemoryState(total=500)
+        assert mm.allocate("anon")
+        assert mm.allocate("file_clean")
+        assert mm.allocate("file_dirty")
+        assert mm.anon == mm.file_clean == mm.file_dirty == 1
+        assert mm.free == 497
+        mm.check()
+
+    def test_allocate_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MemoryState(total=500).allocate("huge")
+
+    def test_allocate_fails_when_empty(self):
+        mm = MemoryState(total=100)
+        for _ in range(100):
+            assert mm.allocate("anon")
+        assert not mm.allocate("anon")
+        mm.check()
+
+    def test_writeback_cycle_conserves_pages(self):
+        mm = MemoryState(total=500)
+        for _ in range(10):
+            mm.allocate("file_dirty")
+        moved = mm.start_writeback(6)
+        assert moved == 6
+        assert mm.writeback == 6 and mm.file_dirty == 4
+        done = mm.complete_writeback(6)
+        assert done == 6
+        assert mm.free == 500 - 4
+        mm.check()
+
+    def test_reclaim_clean_counts_steal(self):
+        mm = MemoryState(total=500)
+        for _ in range(8):
+            mm.allocate("file_clean")
+        got = mm.reclaim_clean(5)
+        assert got == 5
+        assert mm.stats.pgsteal == 5
+        mm.check()
+
+    def test_dirty_clean_page(self):
+        mm = MemoryState(total=500)
+        mm.allocate("file_clean")
+        assert mm.dirty_clean_page()
+        assert mm.file_dirty == 1 and mm.file_clean == 0
+        assert not mm.dirty_clean_page()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(
+        ["anon", "file_clean", "file_dirty", "wb", "done", "steal",
+         "drop"]), max_size=120))
+    def test_conservation_under_random_traffic(self, ops):
+        mm = MemoryState(total=300)
+        for op in ops:
+            if op in ("anon", "file_clean", "file_dirty"):
+                mm.allocate(op)
+            elif op == "wb":
+                mm.start_writeback(3)
+            elif op == "done":
+                mm.complete_writeback(2)
+            elif op == "steal":
+                mm.reclaim_clean(2)
+            elif op == "drop":
+                mm.drop_anon(2)
+            mm.check()
+
+
+class TestBlockDevice:
+    def test_submit_and_complete(self):
+        engine = Engine()
+        device = BlockDevice(engine, service_ns_per_page=100,
+                             queue_limit=10)
+        done = []
+        device.set_completion_handler(lambda n: done.append(n))
+        assert device.submit(3) == 3
+        engine.run()
+        assert sum(done) == 3
+        assert engine.now == pytest.approx(300)
+
+    def test_queue_limit_enforced(self):
+        engine = Engine()
+        device = BlockDevice(engine, queue_limit=5)
+        assert device.submit(10) == 5
+        assert device.space == 0
+
+    def test_congestion_flag(self):
+        engine = Engine()
+        device = BlockDevice(engine, queue_limit=100,
+                             congestion_fraction=0.5)
+        assert not device.congested
+        device.submit(50)
+        assert device.congested
+
+    def test_estimated_drain(self):
+        engine = Engine()
+        device = BlockDevice(engine, service_ns_per_page=1000,
+                             queue_limit=100)
+        device.submit(30)
+        assert device.estimated_drain_ns() == pytest.approx(30_000)
+        assert device.estimated_drain_ns(to_depth=10) == \
+            pytest.approx(20_000)
+
+    def test_fifo_throughput(self):
+        engine = Engine()
+        device = BlockDevice(engine, service_ns_per_page=100,
+                             queue_limit=1000)
+        device.submit(100)
+        engine.run(until=5_000)
+        assert device.pages_written == 50  # one per 100 ns

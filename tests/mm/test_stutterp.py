@@ -1,0 +1,88 @@
+"""Integration tests for the stutterp workload and the Figure 6 harness."""
+
+import pytest
+
+from repro.core import PredictionService
+from repro.mm import (
+    FIGURE6_WORKERS,
+    GormanThrottle,
+    NeverThrottle,
+    StutterpConfig,
+    VanillaCongestionWait,
+    compare_throttles,
+    latency_improvement,
+    run_stutterp,
+)
+
+SHORT = 60_000_000.0  # 60 ms runs keep the test suite fast
+
+
+class TestConfig:
+    def test_worker_mix_sums(self):
+        for workers in FIGURE6_WORKERS:
+            x, y, z = StutterpConfig(workers=workers).worker_mix()
+            assert x >= 1 and y >= 1 and z >= 1
+            assert x + y + z >= workers - 1  # rounding tolerance
+
+    def test_figure6_axis_matches_paper(self):
+        assert FIGURE6_WORKERS == (4, 7, 12, 21, 30, 48, 64)
+
+
+class TestRunStutterp:
+    def test_produces_samples_and_conserves_memory(self):
+        result = run_stutterp(12, NeverThrottle(), seed=0,
+                              duration_ns=SHORT)
+        assert result.samples > 5
+        assert result.average_latency_ns > 0
+        assert result.policy == "never"
+
+    def test_deterministic_for_seed(self):
+        a = run_stutterp(7, GormanThrottle(), seed=3, duration_ns=SHORT)
+        b = run_stutterp(7, GormanThrottle(), seed=3, duration_ns=SHORT)
+        assert a.average_latency_ns == b.average_latency_ns
+
+    def test_seed_changes_outcome(self):
+        a = run_stutterp(30, GormanThrottle(), seed=1, duration_ns=SHORT)
+        b = run_stutterp(30, GormanThrottle(), seed=2, duration_ns=SHORT)
+        assert (a.average_latency_ns, a.vmstats.pgscan) != \
+            (b.average_latency_ns, b.vmstats.pgscan)
+
+    def test_pressure_grows_with_workers(self):
+        light = run_stutterp(4, VanillaCongestionWait(), seed=0,
+                             duration_ns=SHORT)
+        heavy = run_stutterp(64, VanillaCongestionWait(), seed=0,
+                             duration_ns=SHORT)
+        assert heavy.vmstats.direct_reclaims > light.vmstats.direct_reclaims
+
+    def test_reclaim_activity_recorded(self):
+        result = run_stutterp(30, VanillaCongestionWait(), seed=0,
+                              duration_ns=SHORT)
+        assert result.vmstats.pgscan > 0
+        assert result.vmstats.writeback_submitted > 0
+
+
+class TestLatencyImprovement:
+    def test_sign_convention(self):
+        assert latency_improvement(200.0, 100.0) == pytest.approx(1.0)
+        assert latency_improvement(100.0, 200.0) == pytest.approx(-0.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            latency_improvement(100.0, 0.0)
+
+
+class TestCompareThrottles:
+    def test_column_structure(self):
+        column = compare_throttles(12, seed=0, pss_runs=2,
+                                   duration_ns=SHORT,
+                                   reference_seeds=1)
+        assert column.workers == 12
+        assert column.vanilla_latency_ns > 0
+        assert len(column.pss_run_improvements) == 2
+
+    def test_service_persists_across_pss_runs(self):
+        service = PredictionService()
+        compare_throttles(12, seed=0, pss_runs=2, service=service,
+                          duration_ns=SHORT, reference_seeds=1)
+        stats = service.domain("reclaim").stats
+        assert stats.predictions > 0
