@@ -12,11 +12,12 @@ Public surface:
   (:func:`save_service`, :func:`load_service`).
 """
 
-from repro.core.client import PSSClient
+from repro.core.client import CircuitBreaker, PSSClient, ResilientClient
 from repro.core.config import (
     LatencyModel,
     MAX_FEATURES,
     PSSConfig,
+    ResilienceConfig,
     ServiceConfig,
     SYSCALL_LATENCY_NS,
     VDSO_PREDICT_LATENCY_NS,
@@ -29,8 +30,11 @@ from repro.core.errors import (
     PersistenceError,
     PolicyError,
     PSSError,
+    TransportClosedError,
     TransportError,
+    TransportFault,
 )
+from repro.core.faults import FaultInjector, FaultPlan, FaultStats
 from repro.core.features import (
     FeatureVector,
     HistoryRegister,
@@ -50,6 +54,7 @@ from repro.core.models import (
 from repro.core.multiclass import BinarySearchTuner, MultiChoiceClient
 from repro.core.perceptron import HashedPerceptron
 from repro.core.persistence import (
+    CheckpointManager,
     load_service,
     restore_service,
     save_service,
@@ -63,7 +68,12 @@ from repro.core.policy import (
     private_policy,
 )
 from repro.core.service import Domain, DomainHandle, PredictionService
-from repro.core.stats import DomainReport, LatencyAccount, PredictionStats
+from repro.core.stats import (
+    DomainReport,
+    LatencyAccount,
+    PredictionStats,
+    ResilienceStats,
+)
 from repro.core.transport import (
     BatchUpdateBuffer,
     SyscallTransport,
@@ -73,10 +83,13 @@ from repro.core.transport import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "PSSClient",
+    "ResilientClient",
     "LatencyModel",
     "MAX_FEATURES",
     "PSSConfig",
+    "ResilienceConfig",
     "ServiceConfig",
     "SYSCALL_LATENCY_NS",
     "VDSO_PREDICT_LATENCY_NS",
@@ -87,7 +100,12 @@ __all__ = [
     "PersistenceError",
     "PolicyError",
     "PSSError",
+    "TransportClosedError",
     "TransportError",
+    "TransportFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "FeatureVector",
     "HistoryRegister",
     "embed_category",
@@ -103,6 +121,7 @@ __all__ = [
     "BinarySearchTuner",
     "MultiChoiceClient",
     "HashedPerceptron",
+    "CheckpointManager",
     "load_service",
     "restore_service",
     "save_service",
@@ -118,6 +137,7 @@ __all__ = [
     "DomainReport",
     "LatencyAccount",
     "PredictionStats",
+    "ResilienceStats",
     "BatchUpdateBuffer",
     "SyscallTransport",
     "Transport",

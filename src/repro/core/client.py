@@ -16,12 +16,17 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence, Union
 
-from repro.core.config import LatencyModel
+from repro.core.config import LatencyModel, ResilienceConfig
+from repro.core.errors import TransportFault
+from repro.core.faults import FaultInjector
 from repro.core.service import DomainHandle
-from repro.core.stats import LatencyAccount
+from repro.core.stats import LatencyAccount, ResilienceStats
 from repro.core.transport import Transport, make_transport
+
+#: a static fallback: a fixed score, or a pure function of the features
+Fallback = Union[int, Callable[[Sequence[int]], int]]
 
 
 class PSSClient:
@@ -93,8 +98,223 @@ class PSSClient:
         """Flush buffered updates and release the connection."""
         self._transport.close()
 
+    def attach_fault_injector(self,
+                              injector: FaultInjector | None) -> None:
+        """Attach a :class:`FaultInjector` to this client's transport."""
+        self._transport.attach_injector(injector)
+
     def __enter__(self) -> "PSSClient":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one client.
+
+    CLOSED passes operations through; ``threshold`` consecutive failures
+    trip it OPEN.  While OPEN the client serves static fallbacks without
+    touching the transport; after ``cooldown`` degraded calls the breaker
+    HALF-OPENs and lets one probe operation through.  A successful probe
+    closes the breaker (the transport healed); a failed one re-opens it
+    for another cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int, cooldown: int,
+                 stats: ResilienceStats | None = None) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_left = 0
+        self._stats = stats or ResilienceStats()
+
+    def allow(self) -> bool:
+        """Whether the next operation may touch the transport."""
+        if self.state == self.OPEN:
+            self._cooldown_left -= 1
+            if self._cooldown_left > 0:
+                return False
+            self.state = self.HALF_OPEN
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self.state = self.CLOSED
+            self._stats.breaker_closes += 1
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == self.HALF_OPEN \
+                or self._consecutive_failures >= self.threshold:
+            self.state = self.OPEN
+            self._cooldown_left = self.cooldown
+            self._consecutive_failures = 0
+            self._stats.breaker_opens += 1
+
+
+class ResilientClient(PSSClient):
+    """A PSSClient that degrades gracefully instead of raising.
+
+    The paper's safety property - predictions are hints, so a missing
+    prediction may cost performance but never correctness - becomes an
+    API guarantee here: ``predict``/``update``/``reset``/``flush`` never
+    leak a :class:`~repro.core.errors.TransportFault` into scenario code.
+
+    * Syscall-path operations get bounded retry with exponential backoff
+      (simulated time, accounted in :attr:`stats`).
+    * A :class:`CircuitBreaker` trips after repeated operation failures;
+      while open, predictions are answered by the **static fallback**
+      (per-domain configured: HLE always-attempts-HTM, JIT holds its
+      parameters, mm applies the kernel's fixed 12.5 % threshold) and
+      updates/resets are dropped - they are only hints.
+    * When the transport heals, the breaker's half-open probe discovers
+      it and normal service resumes.
+    """
+
+    def __init__(self, handle: DomainHandle,
+                 transport_kind: str = "vdso",
+                 latency: LatencyModel | None = None,
+                 batch_size: int = 32,
+                 resilience: ResilienceConfig | None = None,
+                 fallback: Fallback = 0) -> None:
+        super().__init__(handle, transport_kind, latency, batch_size)
+        self.resilience = resilience or ResilienceConfig()
+        self.stats = ResilienceStats()
+        self._breaker = CircuitBreaker(
+            self.resilience.breaker_threshold,
+            self.resilience.breaker_cooldown,
+            self.stats,
+        )
+        self._fallback = fallback
+        self._last_was_fallback = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def breaker_state(self) -> str:
+        return self._breaker.state
+
+    @property
+    def last_prediction_was_fallback(self) -> bool:
+        """True when the most recent predict was served degraded.
+
+        Scenario code can use this to apply domain-specific degraded
+        behaviour beyond the score itself (the JIT tuner holds its
+        ladder position, for example).
+        """
+        return self._last_was_fallback
+
+    def fallback_score(self, features: Sequence[int]) -> int:
+        fb = self._fallback
+        return fb(features) if callable(fb) else fb
+
+    # -- the guarded calls ---------------------------------------------------
+
+    def predict(self, features: Sequence[int]) -> int:
+        self.stats.predictions += 1
+        self._last_was_fallback = False
+        if not self._breaker.allow():
+            self._last_was_fallback = True
+            self.stats.fallback_predictions += 1
+            return self.fallback_score(features)
+        try:
+            score = self._attempt(
+                lambda: self._transport.predict(features)
+            )
+        except TransportFault:
+            self.stats.transport_failures += 1
+            self._breaker.record_failure()
+            self._last_was_fallback = True
+            self.stats.fallback_predictions += 1
+            return self.fallback_score(features)
+        self._breaker.record_success()
+        return score
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        if not self._breaker.allow():
+            self.stats.dropped_updates += 1
+            return
+        try:
+            self._attempt(
+                lambda: self._transport.update(features, direction)
+            )
+        except TransportFault as fault:
+            self.stats.transport_failures += 1
+            if fault.lost_records == 0:
+                # Syscall-style update: the record never reached a
+                # buffer, so _attempt could not have counted it.
+                self.stats.dropped_updates += 1
+            self._breaker.record_failure()
+        else:
+            self._breaker.record_success()
+
+    def reset(self, features: Sequence[int],
+              reset_all: bool = False) -> None:
+        if not self._breaker.allow():
+            self.stats.dropped_resets += 1
+            return
+        try:
+            self._attempt(
+                lambda: self._transport.reset(features, reset_all)
+            )
+        except TransportFault:
+            self.stats.transport_failures += 1
+            self.stats.dropped_resets += 1
+            self._breaker.record_failure()
+        else:
+            self._breaker.record_success()
+
+    def flush(self) -> None:
+        if self.pending_updates == 0:
+            return
+        if not self._breaker.allow():
+            # Leave the records buffered: they are not lost, just late,
+            # and will go out once the transport heals.
+            return
+        # No retry: a failed flush has already drained the batch buffer,
+        # so retrying would only "succeed" against an empty buffer and
+        # hide the loss.
+        try:
+            self._transport.flush()
+        except TransportFault as fault:
+            self.stats.transport_failures += 1
+            self.stats.dropped_updates += fault.lost_records
+            self._breaker.record_failure()
+        else:
+            self._breaker.record_success()
+
+    def close(self) -> None:
+        try:
+            self._transport.close()
+        except TransportFault as fault:
+            self.stats.transport_failures += 1
+            self.stats.dropped_updates += fault.lost_records
+
+    # -- retry machinery ------------------------------------------------------
+
+    def _attempt(self, operation: Callable[[], object]):
+        """Run ``operation`` with bounded retry + exponential backoff.
+
+        Batch records lost with any failed crossing are counted here
+        (they are gone whether or not a later attempt succeeds).
+        """
+        config = self.resilience
+        for attempt in range(config.max_attempts):
+            try:
+                return operation()
+            except TransportFault as fault:
+                self.stats.dropped_updates += fault.lost_records
+                if attempt + 1 >= config.max_attempts:
+                    raise
+                self.stats.retries += 1
+                self.stats.backoff_ns += (
+                    config.backoff_base_ns
+                    * config.backoff_multiplier ** attempt
+                )

@@ -123,6 +123,50 @@ class LatencyModel:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Client-side degraded-mode behaviour (retry, backoff, breaker).
+
+    Used by :class:`repro.core.client.ResilientClient`.  Retries apply to
+    syscall-path operations that raise a transient
+    :class:`~repro.core.errors.TransportFault`; backoff is simulated time
+    (charged to :class:`~repro.core.stats.ResilienceStats.backoff_ns`),
+    growing geometrically per retry.  The circuit breaker trips to OPEN
+    after ``breaker_threshold`` consecutive failed operations, serves
+    static fallbacks for ``breaker_cooldown`` calls, then half-opens and
+    lets one probe operation through to test whether the transport healed.
+
+    Attributes:
+        max_attempts: total tries per operation (1 = no retry).
+        backoff_base_ns: simulated wait before the first retry.
+        backoff_multiplier: geometric backoff growth per further retry.
+        breaker_threshold: consecutive operation failures that trip the
+            breaker OPEN.
+        breaker_cooldown: degraded calls served while OPEN before the
+            breaker half-opens.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ns: float = 200.0
+    backoff_multiplier: float = 2.0
+    breaker_threshold: int = 5
+    breaker_cooldown: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_ns < 0:
+            raise ConfigError("backoff_base_ns must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ConfigError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise ConfigError("breaker_cooldown must be >= 1")
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Top-level service configuration shared by all domains."""
 

@@ -34,6 +34,32 @@ class TransportError(PSSError):
     """A transport was used in an unsupported way (e.g. write via vDSO)."""
 
 
+class TransportClosedError(TransportError):
+    """A closed transport was asked to predict, update, reset, or flush."""
+
+
+class TransportFault(TransportError):
+    """A transient boundary-crossing failure (simulated ``EAGAIN``/``EINTR``).
+
+    Raised by transports under fault injection when a syscall crossing
+    fails.  ``errno_name`` names the simulated errno; ``lost_records``
+    counts buffered update records that were dropped with the failed
+    crossing (non-zero only for batch-flush faults).  Transient: the same
+    operation may succeed when retried, which is what the
+    :class:`repro.core.client.ResilientClient` retry path does.
+    """
+
+    def __init__(self, errno_name: str = "EAGAIN",
+                 lost_records: int = 0,
+                 message: str | None = None) -> None:
+        super().__init__(
+            message
+            or f"simulated {errno_name} while crossing the service boundary"
+        )
+        self.errno_name = errno_name
+        self.lost_records = lost_records
+
+
 class ModelError(PSSError):
     """A predictor model violated the :class:`PredictorModel` contract."""
 

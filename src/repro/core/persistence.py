@@ -10,22 +10,42 @@ Python pickling.  A snapshot captures, per domain: the configuration, the
 model name and model state, and (optionally) accumulated statistics.
 Policies are intentionally *not* persisted - they belong to the running
 system's security configuration, not to learned state.
+
+Robustness guarantees (the service must survive its own restarts):
+
+* every snapshot embeds a CRC-32 ``checksum`` over its domain payload, so
+  a torn or bit-flipped file is *detected* (:class:`PersistenceError`)
+  instead of silently restoring garbage weights;
+* :func:`restore_service` is atomic - it stages every domain off to the
+  side and only swaps them into the service once the whole snapshot has
+  validated, so a malformed snapshot leaves prior state untouched;
+* :class:`CheckpointManager` turns the two into a crash-recovery loop:
+  periodic checkpoints while the service runs, best-effort
+  :meth:`~CheckpointManager.recover` when it comes back up.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import zlib
 from pathlib import Path
 from typing import Any
 
 from repro.core.config import PSSConfig
 from repro.core.errors import PersistenceError, PSSError
-from repro.core.service import PredictionService
+from repro.core.models import create_model
+from repro.core.service import Domain, PredictionService
 from repro.core.stats import PredictionStats
 
 #: bumped whenever the snapshot layout changes incompatibly
 SNAPSHOT_VERSION = 1
+
+
+def _domains_checksum(domains: dict[str, Any]) -> int:
+    """CRC-32 over the canonical JSON encoding of the domain payload."""
+    canonical = json.dumps(domains, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
 
 
 def snapshot_service(service: PredictionService,
@@ -42,7 +62,11 @@ def snapshot_service(service: PredictionService,
         if include_stats:
             entry["stats"] = dataclasses.asdict(domain.stats)
         domains[name] = entry
-    return {"version": SNAPSHOT_VERSION, "domains": domains}
+    return {
+        "version": SNAPSHOT_VERSION,
+        "domains": domains,
+        "checksum": _domains_checksum(domains),
+    }
 
 
 def restore_service(service: PredictionService,
@@ -50,7 +74,10 @@ def restore_service(service: PredictionService,
     """Recreate the snapshot's domains inside ``service``.
 
     Existing domains with matching names are replaced.  Raises
-    :class:`PersistenceError` on version or shape mismatches.
+    :class:`PersistenceError` on version, checksum, or shape mismatches;
+    on any failure the service keeps its prior domains untouched (the
+    replacement domains are staged first and committed only once the
+    whole snapshot has validated).
     """
     version = snapshot.get("version")
     if version != SNAPSHOT_VERSION:
@@ -60,20 +87,49 @@ def restore_service(service: PredictionService,
         )
     try:
         domains = snapshot["domains"]
+        if "checksum" in snapshot:
+            expected = snapshot["checksum"]
+            actual = _domains_checksum(domains)
+            if actual != expected:
+                raise PersistenceError(
+                    f"snapshot checksum mismatch (stored {expected!r}, "
+                    f"computed {actual}): refusing to restore corrupt state"
+                )
+        staged: dict[str, Domain] = {}
         for name, entry in domains.items():
             config = PSSConfig(**entry["config"])
-            if service.has_domain(name):
-                service.remove_domain(name)
-            domain = service.create_domain(
-                name, config=config, model=entry["model_name"]
+            domain = Domain(
+                name=name,
+                config=config,
+                model=create_model(entry["model_name"], config),
+                model_name=entry["model_name"],
             )
             domain.model.load_state(entry["model_state"])
             if "stats" in entry:
                 domain.stats = PredictionStats(**entry["stats"])
+            staged[name] = domain
+        new_names = set(staged) - set(service.domain_names())
+        room = service.config.max_domains - len(service.domain_names())
+        if len(new_names) > room:
+            raise PersistenceError(
+                f"snapshot holds {len(new_names)} new domains but the "
+                f"service only has room for {room}"
+            )
     except PersistenceError:
         raise
-    except (PSSError, KeyError, TypeError, ValueError) as exc:
+    except (PSSError, AttributeError, KeyError, TypeError,
+            ValueError) as exc:
         raise PersistenceError(f"malformed snapshot: {exc}") from exc
+    # Commit point: everything validated, swap the domains in.
+    for name, domain in staged.items():
+        if service.has_domain(name):
+            service.remove_domain(name)
+        service.create_domain(
+            name, config=domain.config, model=domain.model_name
+        )
+        committed = service.domain(name)
+        committed.model = domain.model
+        committed.stats = domain.stats
 
 
 def save_service(service: PredictionService, path: str | Path,
@@ -90,10 +146,98 @@ def load_service(service: PredictionService, path: str | Path) -> None:
     """Restore ``service`` domains from a JSON snapshot at ``path``."""
     try:
         text = Path(path).read_text()
-    except OSError as exc:
+    except (OSError, UnicodeDecodeError) as exc:
         raise PersistenceError(f"cannot read snapshot: {exc}") from exc
     try:
         snapshot = json.loads(text)
     except json.JSONDecodeError as exc:
         raise PersistenceError(f"snapshot is not valid JSON: {exc}") from exc
+    if not isinstance(snapshot, dict):
+        raise PersistenceError(
+            f"snapshot root must be an object, got {type(snapshot).__name__}"
+        )
     restore_service(service, snapshot)
+
+
+class CheckpointManager:
+    """Periodic checkpoints plus best-effort recovery for one service.
+
+    The manager models the kernel-side daemon that keeps learned state
+    alive across service restarts:
+
+    * :meth:`tick` counts service operations and writes a checkpoint
+      every ``interval`` ticks;
+    * :meth:`checkpoint` writes atomically (temp file + rename) so a
+      crash mid-write can never destroy the previous good checkpoint;
+    * :meth:`recover` restores the newest checkpoint into the service,
+      returning False - never raising - when there is nothing usable
+      (missing file, corrupt JSON, checksum mismatch).
+
+    A :class:`~repro.core.faults.FaultInjector` may be attached to
+    corrupt checkpoint bytes on their way to disk, exercising the
+    detect-don't-trust path end to end.
+    """
+
+    def __init__(self, service: PredictionService, path: str | Path,
+                 interval: int = 256,
+                 include_stats: bool = True,
+                 injector=None) -> None:
+        if interval < 1:
+            raise PersistenceError(
+                f"checkpoint interval must be positive, got {interval}"
+            )
+        self.service = service
+        self.path = Path(path)
+        self.interval = interval
+        self.include_stats = include_stats
+        self.injector = injector
+        self.ticks = 0
+        self.checkpoints_written = 0
+        self.corrupt_detected = 0
+        self.last_error: str | None = None
+
+    def tick(self, count: int = 1) -> bool:
+        """Record ``count`` operations; checkpoint on interval boundaries.
+
+        Returns True when this tick triggered a checkpoint.
+        """
+        before = self.ticks // self.interval
+        self.ticks += count
+        if self.ticks // self.interval == before:
+            return False
+        self.checkpoint()
+        return True
+
+    def checkpoint(self) -> None:
+        """Write a snapshot atomically (temp file, then rename over)."""
+        snapshot = snapshot_service(
+            self.service, include_stats=self.include_stats
+        )
+        text = json.dumps(snapshot, indent=1)
+        if self.injector is not None and self.injector.corrupt_snapshot():
+            text = self.injector.corrupt_text(text)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(text)
+            tmp.replace(self.path)
+        except OSError as exc:
+            raise PersistenceError(f"cannot write checkpoint: {exc}") from exc
+        self.checkpoints_written += 1
+
+    def recover(self) -> bool:
+        """Restore the last checkpoint if one exists and validates.
+
+        Returns True on a successful restore.  A missing file is a clean
+        cold start (False); a corrupt one is counted, remembered in
+        :attr:`last_error`, and also reported as False - the service then
+        simply starts from scratch, because predictions are only hints.
+        """
+        if not self.path.exists():
+            return False
+        try:
+            load_service(self.service, self.path)
+        except PersistenceError as exc:
+            self.corrupt_detected += 1
+            self.last_error = str(exc)
+            return False
+        return True

@@ -177,26 +177,58 @@ class PredictionService:
                 transport: str = "vdso",
                 config: PSSConfig | None = None,
                 model: str = "perceptron",
-                batch_size: int | None = None):
+                batch_size: int | None = None,
+                resilience=None,
+                fallback=None,
+                fault_plan=None):
         """Open a :class:`repro.core.client.PSSClient` on a domain.
 
         This is the normal entry point for applications: it wires the
         policy-checked handle through the requested transport (vDSO by
         default, matching the paper's deployment).
+
+        Passing ``resilience`` (a :class:`~repro.core.config
+        .ResilienceConfig`) or ``fallback`` (a static fallback score or
+        ``features -> score`` callable) upgrades the client to a
+        :class:`~repro.core.client.ResilientClient` with retry/backoff,
+        a circuit breaker, and degraded-mode fallbacks.  ``fault_plan``
+        (a :class:`~repro.core.faults.FaultPlan` or ready-made
+        :class:`~repro.core.faults.FaultInjector`) attaches fault
+        injection to the client's transport - combine both to exercise
+        graceful degradation, or inject without resilience to observe
+        raw :class:`~repro.core.errors.TransportFault` propagation.
         """
         # Local import: client builds on service, not the other way around.
-        from repro.core.client import PSSClient
+        from repro.core.client import PSSClient, ResilientClient
+        from repro.core.faults import FaultInjector, FaultPlan
 
         domain = self._resolve(name, config, model)
         handle = DomainHandle(domain, identity or ClientIdentity())
         effective_batch = (batch_size if batch_size is not None
                            else domain.config.update_batch_size)
-        return PSSClient(
-            handle,
-            transport_kind=transport,
-            latency=self.config.latency,
-            batch_size=effective_batch,
-        )
+        if resilience is not None or fallback is not None:
+            client = ResilientClient(
+                handle,
+                transport_kind=transport,
+                latency=self.config.latency,
+                batch_size=effective_batch,
+                resilience=resilience,
+                fallback=0 if fallback is None else fallback,
+            )
+        else:
+            client = PSSClient(
+                handle,
+                transport_kind=transport,
+                latency=self.config.latency,
+                batch_size=effective_batch,
+            )
+        if fault_plan is not None:
+            injector = (fault_plan if isinstance(fault_plan, FaultInjector)
+                        else FaultInjector(FaultPlan(**fault_plan)
+                                           if isinstance(fault_plan, dict)
+                                           else fault_plan))
+            client.attach_fault_injector(injector)
+        return client
 
     # -- paper-signature convenience (kernel-internal callers) --------------
 

@@ -107,6 +107,35 @@ class LatencyAccount:
 
 
 @dataclass
+class ResilienceStats:
+    """Degraded-mode accounting for one resilient client.
+
+    Counts what the retry/breaker/fallback machinery did, so experiments
+    can report how much of a run was served degraded and what the faults
+    cost.  ``backoff_ns`` is simulated application-side wait time (it is
+    not boundary-crossing time, so it is kept out of the
+    :class:`LatencyAccount`).
+    """
+
+    predictions: int = 0
+    fallback_predictions: int = 0
+    retries: int = 0
+    transport_failures: int = 0
+    dropped_updates: int = 0
+    dropped_resets: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    backoff_ns: float = 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of predictions answered by the static fallback."""
+        if not self.predictions:
+            return 0.0
+        return self.fallback_predictions / self.predictions
+
+
+@dataclass
 class DomainReport:
     """Bundled per-domain stats as returned by the service introspection."""
 

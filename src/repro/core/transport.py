@@ -23,7 +23,12 @@ from __future__ import annotations
 from typing import Protocol, Sequence
 
 from repro.core.config import LatencyModel
-from repro.core.errors import TransportError
+from repro.core.errors import (
+    TransportClosedError,
+    TransportError,
+    TransportFault,
+)
+from repro.core.faults import FaultInjector
 from repro.core.stats import LatencyAccount
 
 
@@ -38,7 +43,7 @@ class ServiceTarget(Protocol):
 
 
 class Transport:
-    """Base transport: owns the latency model and account."""
+    """Base transport: owns the latency model, account, and fault hooks."""
 
     #: human-readable name used in reports ("vdso" / "syscall")
     name = "base"
@@ -49,10 +54,40 @@ class Transport:
         self._target = target
         self._latency = latency or LatencyModel()
         self.account = account or LatencyAccount()
+        self._injector: FaultInjector | None = None
+        self._closed = False
 
     @property
     def latency_model(self) -> LatencyModel:
         return self._latency
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        return self._injector
+
+    def attach_injector(self, injector: FaultInjector | None) -> None:
+        """Attach (or, with None, detach) a fault injector.
+
+        Every subsequent crossing consults the injector; detaching mid
+        run models a transport that healed.
+        """
+        self._injector = injector
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise TransportClosedError(
+                f"{self.name} transport used after close()"
+            )
+
+    def _syscall_fault(self):
+        """Injected fault for one syscall crossing, or None."""
+        if self._injector is None:
+            return None
+        return self._injector.syscall_fault()
 
     def predict(self, features: Sequence[int]) -> int:
         raise NotImplementedError
@@ -62,16 +97,27 @@ class Transport:
 
     def reset(self, features: Sequence[int], reset_all: bool) -> None:
         """Resets always cross via syscall: they write kernel state."""
+        self._ensure_open()
         self.account.charge_syscall(self._latency.syscall_ns)
         self.flush()
+        fault = self._syscall_fault()
+        if fault is not None:
+            raise fault
         self._target.reset(features, reset_all)
 
     def flush(self) -> None:
         """Deliver any buffered updates (no-op for unbuffered transports)."""
+        self._ensure_open()
 
     def close(self) -> None:
-        """Flush and detach; further use is a programming error."""
-        self.flush()
+        """Flush and detach; any later predict/update/reset/flush raises
+        :class:`~repro.core.errors.TransportClosedError`.  Idempotent."""
+        if self._closed:
+            return
+        try:
+            self.flush()
+        finally:
+            self._closed = True
 
 
 class SyscallTransport(Transport):
@@ -84,10 +130,20 @@ class SyscallTransport(Transport):
     name = "syscall"
 
     def predict(self, features: Sequence[int]) -> int:
+        self._ensure_open()
         self.account.charge_syscall(self._latency.syscall_ns)
+        fault = self._syscall_fault()
+        if fault is not None:
+            raise fault  # the failed crossing still cost a syscall
         return self._target.predict(features)
 
     def update(self, features: Sequence[int], direction: bool) -> None:
+        self._ensure_open()
+        fault = self._syscall_fault()
+        if fault is not None:
+            # Crossing attempted and paid for, but no record delivered.
+            self.account.charge_syscall(self._latency.syscall_ns)
+            raise fault
         self.account.charge_syscall(self._latency.syscall_ns, records=1)
         self._target.update(features, direction)
 
@@ -140,12 +196,17 @@ class VdsoTransport(Transport):
 
     name = "vdso"
 
+    #: feature vectors remembered for stale-read injection
+    STALE_CACHE_ENTRIES = 512
+
     def __init__(self, target: ServiceTarget,
                  latency: LatencyModel | None = None,
                  account: LatencyAccount | None = None,
                  batch_size: int = 32) -> None:
         super().__init__(target, latency, account)
         self._buffer = BatchUpdateBuffer(batch_size)
+        #: last fresh score per feature vector, kept only under injection
+        self._stale_cache: dict[tuple[int, ...], int] = {}
 
     @property
     def pending_updates(self) -> int:
@@ -153,23 +214,61 @@ class VdsoTransport(Transport):
         return len(self._buffer)
 
     def predict(self, features: Sequence[int]) -> int:
+        self._ensure_open()
         self.account.charge_vdso(self._latency.vdso_predict_ns)
-        return self._target.predict(features)
+        if self._injector is None:
+            return self._target.predict(features)
+        # A read-only mapping can lag the kernel's weight writes: a
+        # stale read answers from the last score observed for this
+        # feature vector.  Reads never fail - staleness is the vDSO's
+        # only failure mode.
+        key = tuple(features)
+        if self._injector.stale_read():
+            stale = self._stale_cache.get(key)
+            if stale is not None:
+                return stale
+        score = self._target.predict(features)
+        if key not in self._stale_cache \
+                and len(self._stale_cache) >= self.STALE_CACHE_ENTRIES:
+            self._stale_cache.pop(next(iter(self._stale_cache)))
+        self._stale_cache[key] = score
+        return score
 
     def update(self, features: Sequence[int], direction: bool) -> None:
+        self._ensure_open()
         self._buffer.add(features, direction)
         if self._buffer.full:
             self.flush()
 
     def flush(self) -> None:
+        self._ensure_open()
         records = self._buffer.drain()
         if not records:
             return
         cost = (self._latency.syscall_ns
                 + self._latency.batch_record_ns * len(records))
-        self.account.charge_syscall(cost, records=len(records))
-        for features, direction in records:
+        delivered = len(records)
+        fault = self._syscall_fault()
+        if fault is None and self._injector is not None:
+            delivered = self._injector.flush_outcome(len(records))
+            if delivered < len(records):
+                fault = TransportFault(
+                    "EAGAIN", lost_records=len(records) - delivered,
+                    message=(
+                        f"batch flush delivered {delivered} of "
+                        f"{len(records)} records"
+                    ),
+                )
+        elif fault is not None:
+            delivered = 0
+            fault.lost_records = len(records)
+        self.account.charge_syscall(cost, records=delivered)
+        for features, direction in records[:delivered]:
             self._target.update(features, direction)
+        if fault is not None:
+            # The undelivered suffix is gone: updates are hints, and the
+            # batch buffer was already drained when the crossing failed.
+            raise fault
 
 
 def make_transport(kind: str, target: ServiceTarget,

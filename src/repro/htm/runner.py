@@ -149,16 +149,25 @@ def pss_builder(service: PredictionService | None = None,
                 domain: str = "hle",
                 transport: str = "vdso",
                 batch_size: int = 4,
-                max_retries: int = MAX_RETRIES) -> PolicyBuilder:
+                max_retries: int = MAX_RETRIES,
+                fault_plan=None,
+                resilience=None,
+                fallback_score: int = 1) -> PolicyBuilder:
     """PSS-guided elision (Listing 1 with the gray lines).
 
     Pass an existing ``service`` to carry learned weights across runs
     (the paper's cross-invocation learning); otherwise each run starts
     cold with its own service instance.
+
+    Passing ``fault_plan`` and/or ``resilience`` runs the policy on a
+    degradable client: injected transport faults are absorbed and, with
+    the breaker open, elision decisions fall back to ``fallback_score``
+    (+1 by default - always attempt HTM, the paper's pre-PSS behaviour).
     """
 
     def build(machine: HTMMachine) -> ElisionPolicy:
         svc = service if service is not None else _Service()
+        resilient = fault_plan is not None or resilience is not None
         client = svc.connect(
             domain,
             # Narrow weights and a small margin keep the predictor nimble:
@@ -168,6 +177,9 @@ def pss_builder(service: PredictionService | None = None,
                              training_margin=8),
             transport=transport,
             batch_size=batch_size,
+            resilience=resilience if resilient else None,
+            fallback=fallback_score if resilient else None,
+            fault_plan=fault_plan,
         )
         return PSSElision(machine, client, max_retries=max_retries)
 

@@ -35,13 +35,20 @@ class KernelComparison:
 
 def run_polybench_kernel(program_builder, iterations: int,
                          service: PredictionService | None = None,
-                         ) -> KernelComparison:
-    """Baseline vs PSS-tuned run of one kernel (fresh VMs for each)."""
+                         fault_plan=None,
+                         resilience=None) -> KernelComparison:
+    """Baseline vs PSS-tuned run of one kernel (fresh VMs for each).
+
+    ``fault_plan``/``resilience`` run the tuner on a degradable client:
+    the baseline is unaffected (it never consults the service), so the
+    comparison isolates what service faults cost the PSS configuration.
+    """
     program = program_builder()
     baseline = BaselineRunner(VM(JitParams()))
     baseline_report = baseline.run(program, iterations)
 
-    tuner = PSSTuner(service=service)
+    tuner = PSSTuner(service=service, fault_plan=fault_plan,
+                     resilience=resilience)
     pss_report = tuner.run(program_builder(), iterations)
 
     return KernelComparison(

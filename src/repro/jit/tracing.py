@@ -95,6 +95,7 @@ class JitStats:
     functions_compiled: int = 0
     loops_freed: int = 0
     cache_evictions: int = 0
+    compiles_declined: int = 0
 
 
 class TracingJit:
@@ -232,6 +233,21 @@ class TracingJit:
             self.stats.trace_aborts += 1
             if state.trace_aborts >= self.costs.max_trace_aborts:
                 state.blacklisted = True
+            self.interp_entries += 1
+            return "interp", cost
+
+        # Profitability gate: every compiled entry pays trace_entry_ns,
+        # so a tiny loop (few trips x few body ops) loses to the
+        # interpreter on every single invocation, forever.  Declining is
+        # strictly better than compiling here, whatever the threshold.
+        steady_compiled = (self.costs.trace_entry_ns
+                           + loop.trips * trace_ops
+                           * self.costs.compiled_ns_per_op)
+        steady_interp = (loop.trips * trace_ops
+                         * self.costs.interp_ns_per_op)
+        if steady_compiled >= steady_interp:
+            state.blacklisted = True
+            self.stats.compiles_declined += 1
             self.interp_entries += 1
             return "interp", cost
 

@@ -111,14 +111,23 @@ class PSSTuner:
                  transport: str = "vdso",
                  vm: VM | None = None,
                  consult_per_decision: bool = False,
-                 batch_size: int = 1) -> None:
+                 batch_size: int = 1,
+                 fault_plan=None,
+                 resilience=None) -> None:
         self.service = service or PredictionService()
+        resilient = fault_plan is not None or resilience is not None
         self.client: PSSClient = self.service.connect(
             domain,
             config=PSSConfig(num_features=4, weight_bits=6,
                              training_margin=6),
             transport=transport,
             batch_size=batch_size,
+            resilience=resilience if resilient else None,
+            # The degraded decision is "hold position": the run loop
+            # checks last_prediction_was_fallback and skips the ladder
+            # move entirely, so the fallback score itself is unused.
+            fallback=0 if resilient else None,
+            fault_plan=fault_plan,
         )
         self.vm = vm or VM(LADDER[DEFAULT_LADDER_INDEX])
         self.ladder_index = DEFAULT_LADDER_INDEX
@@ -162,11 +171,18 @@ class PSSTuner:
             features = [self.ladder_index] + \
                 self.vm.counters.feature_vector()
             decision_up = self.client.predict_bool(features)
+            # Degraded service: the JIT's static fallback is "no move" -
+            # current parameters are known-good, so hold the ladder
+            # position until predictions come back.
+            degraded = getattr(self.client,
+                               "last_prediction_was_fallback", False)
             overhead_calls = 1  # the Listing 2 per-iteration predict
 
             # Plateau exploration: with no feedback for a while, force a
             # walk to one end of the ladder so its effect gets measured.
-            if self._excursion_steps > 0:
+            if degraded:
+                pass
+            elif self._excursion_steps > 0:
                 decision_up = self._explore_up
                 self._excursion_steps -= 1
             elif self._quiet_iterations >= self.EXPLORE_AFTER:
@@ -177,7 +193,9 @@ class PSSTuner:
                 self._quiet_iterations = 0
 
             # Move one step along the aggressiveness ladder.
-            if decision_up:
+            if degraded:
+                pass
+            elif decision_up:
                 self.ladder_index = min(self.ladder_index + 1,
                                         len(LADDER) - 1)
             else:
@@ -222,8 +240,12 @@ class PSSTuner:
                     cumulative + duration,
                 ))
                 cumulative += duration
-                previous_features = features
-                previous_direction_up = decision_up
+                if degraded:
+                    previous_features = None
+                    previous_direction_up = None
+                else:
+                    previous_features = features
+                    previous_direction_up = decision_up
                 continue
 
             if ema is not None and previous_features is not None:
@@ -245,8 +267,15 @@ class PSSTuner:
                 ema = (1 - self.EMA_ALPHA) * ema \
                     + self.EMA_ALPHA * duration
 
-            previous_features = features
-            previous_direction_up = decision_up
+            if degraded:
+                # A held position trains nothing: the decision was not
+                # the predictor's, so the next iteration's time says
+                # nothing about its weights.
+                previous_features = None
+                previous_direction_up = None
+            else:
+                previous_features = features
+                previous_direction_up = decision_up
 
             cumulative += duration
             report.iterations.append(IterationRecord(

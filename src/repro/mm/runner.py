@@ -51,15 +51,37 @@ class StutterpResult:
     latency: LatencyRecord = field(repr=False, default=None)
 
 
+def gorman_fallback(features) -> int:
+    """Static degraded-mode decision: the kernel's fixed 12.5 % rule.
+
+    The PSS throttle's third feature is ``scanned / reclaimed`` (the
+    reciprocal of reclaim efficiency), so a ratio of 8 or more means
+    efficiency has fallen below 1/8 - exactly where Gorman's patch
+    throttles.  When the prediction service is unreachable, this is the
+    behaviour the kernel would have shipped anyway.
+    """
+    return -1 if features[2] >= 8 else 1
+
+
 def make_pss_throttle(service: PredictionService,
-                      domain: str = "reclaim") -> PSSThrottle:
-    """A PSS throttle bound to (possibly pre-trained) service state."""
+                      domain: str = "reclaim",
+                      fault_plan=None,
+                      resilience=None) -> PSSThrottle:
+    """A PSS throttle bound to (possibly pre-trained) service state.
+
+    With ``fault_plan``/``resilience`` the throttle runs on a degradable
+    client whose static fallback is :func:`gorman_fallback`.
+    """
+    resilient = fault_plan is not None or resilience is not None
     client = service.connect(
         domain,
         config=PSSConfig(num_features=3, weight_bits=6,
                          training_margin=8),
         transport="vdso",
         batch_size=1,
+        resilience=resilience if resilient else None,
+        fallback=gorman_fallback if resilient else None,
+        fault_plan=fault_plan,
     )
     return PSSThrottle(client)
 

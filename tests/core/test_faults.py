@@ -1,0 +1,205 @@
+"""Tests for the deterministic fault-injection framework."""
+
+import pytest
+
+from repro.core import (
+    FaultInjector,
+    FaultPlan,
+    LatencyModel,
+    TransportFault,
+)
+from repro.core.errors import ConfigError
+from repro.core.transport import SyscallTransport, VdsoTransport
+
+LAT = LatencyModel(vdso_predict_ns=4.19, syscall_ns=68.0,
+                   batch_record_ns=1.0)
+
+
+class CountingTarget:
+    """Service target counting deliveries and varying scores."""
+
+    def __init__(self):
+        self.updates = []
+        self.resets = 0
+        self.score = 0
+
+    def predict(self, features):
+        return self.score
+
+    def update(self, features, direction):
+        self.updates.append((tuple(features), direction))
+
+    def reset(self, features, reset_all):
+        self.resets += 1
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(syscall_failure_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(stale_read_rate=-0.1)
+
+    def test_flush_budget_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(flush_drop_rate=0.7, partial_flush_rate=0.7)
+
+    def test_uniform_splits_flush_budget(self):
+        plan = FaultPlan.uniform(0.4, seed=3)
+        assert plan.syscall_failure_rate == 0.4
+        assert plan.flush_drop_rate + plan.partial_flush_rate == \
+            pytest.approx(0.4)
+        assert plan.any_faults
+
+    def test_zero_plan_has_no_faults(self):
+        assert not FaultPlan().any_faults
+
+
+class TestInjectorDeterminism:
+    def drive(self, injector):
+        decisions = []
+        for _ in range(200):
+            fault = injector.syscall_fault()
+            decisions.append(fault.errno_name if fault else None)
+            decisions.append(injector.stale_read())
+            decisions.append(injector.flush_outcome(8))
+        return decisions
+
+    def test_same_seed_same_sequence(self):
+        plan = FaultPlan.uniform(0.3, seed=11)
+        a = self.drive(FaultInjector(plan))
+        b = self.drive(FaultInjector(plan))
+        assert a == b
+
+    def test_different_seed_different_sequence(self):
+        a = self.drive(FaultInjector(FaultPlan.uniform(0.3, seed=1)))
+        b = self.drive(FaultInjector(FaultPlan.uniform(0.3, seed=2)))
+        assert a != b
+
+    def test_zero_rates_never_inject(self):
+        injector = FaultInjector(FaultPlan(seed=5))
+        for _ in range(100):
+            assert injector.syscall_fault() is None
+            assert not injector.stale_read()
+            assert injector.flush_outcome(4) == 4
+            assert not injector.corrupt_snapshot()
+        assert injector.stats.total == 0
+
+    def test_stats_count_injections(self):
+        injector = FaultInjector(FaultPlan(seed=0,
+                                           syscall_failure_rate=1.0))
+        for _ in range(10):
+            assert injector.syscall_fault() is not None
+        assert injector.stats.syscall_faults == 10
+        assert injector.stats.total == 10
+
+    def test_corrupt_text_changes_one_character(self):
+        injector = FaultInjector(FaultPlan(seed=0, corruption_rate=1.0))
+        text = '{"version": 1, "domains": {}}'
+        mangled = injector.corrupt_text(text)
+        assert mangled != text
+        assert len(mangled) == len(text)
+        assert sum(a != b for a, b in zip(text, mangled)) == 1
+
+
+class TestSyscallTransportFaults:
+    def test_failed_predict_raises_but_charges(self):
+        t = SyscallTransport(CountingTarget(), LAT)
+        t.attach_injector(
+            FaultInjector(FaultPlan(seed=0, syscall_failure_rate=1.0))
+        )
+        with pytest.raises(TransportFault) as exc:
+            t.predict([1, 2])
+        assert exc.value.errno_name in ("EAGAIN", "EINTR")
+        assert t.account.syscalls == 1
+
+    def test_failed_update_delivers_nothing(self):
+        target = CountingTarget()
+        t = SyscallTransport(target, LAT)
+        t.attach_injector(
+            FaultInjector(FaultPlan(seed=0, syscall_failure_rate=1.0))
+        )
+        with pytest.raises(TransportFault) as exc:
+            t.update([1, 2], True)
+        assert exc.value.lost_records == 0
+        assert target.updates == []
+        assert t.account.update_records == 0
+
+    def test_detaching_injector_heals(self):
+        t = SyscallTransport(CountingTarget(), LAT)
+        t.attach_injector(
+            FaultInjector(FaultPlan(seed=0, syscall_failure_rate=1.0))
+        )
+        with pytest.raises(TransportFault):
+            t.predict([1])
+        t.attach_injector(None)
+        assert t.predict([1]) == 0
+
+
+class TestVdsoTransportFaults:
+    def test_stale_read_returns_previous_score(self):
+        target = CountingTarget()
+        t = VdsoTransport(target, LAT, batch_size=4)
+        t.attach_injector(
+            FaultInjector(FaultPlan(seed=0, stale_read_rate=1.0))
+        )
+        target.score = 5
+        assert t.predict([1, 2]) == 5  # first read: nothing cached yet
+        target.score = 9
+        # Every read is stale, so the cached score keeps being served.
+        assert t.predict([1, 2]) == 5
+
+    def test_stale_reads_never_raise(self):
+        t = VdsoTransport(CountingTarget(), LAT, batch_size=4)
+        t.attach_injector(
+            FaultInjector(FaultPlan(seed=0, stale_read_rate=1.0))
+        )
+        for i in range(50):
+            t.predict([i % 4])
+
+    def test_dropped_flush_loses_whole_batch(self):
+        target = CountingTarget()
+        t = VdsoTransport(target, LAT, batch_size=4)
+        t.attach_injector(
+            FaultInjector(FaultPlan(seed=0, flush_drop_rate=1.0))
+        )
+        with pytest.raises(TransportFault) as exc:
+            for i in range(4):
+                t.update([i], True)
+        assert exc.value.lost_records == 4
+        assert target.updates == []
+        assert t.pending_updates == 0
+
+    def test_partial_flush_delivers_prefix(self):
+        target = CountingTarget()
+        t = VdsoTransport(target, LAT, batch_size=8)
+        t.attach_injector(
+            FaultInjector(FaultPlan(seed=1, partial_flush_rate=1.0))
+        )
+        for i in range(7):
+            t.update([i], True)
+        with pytest.raises(TransportFault) as exc:
+            t.flush()
+        delivered = len(target.updates)
+        assert 0 <= delivered < 7
+        assert exc.value.lost_records == 7 - delivered
+        # Delivery order is preserved: the delivered part is a prefix.
+        assert target.updates == [((i,), True) for i in range(delivered)]
+
+    def test_failed_flush_still_charges_syscall(self):
+        t = VdsoTransport(CountingTarget(), LAT, batch_size=4)
+        t.attach_injector(
+            FaultInjector(FaultPlan(seed=0, syscall_failure_rate=1.0))
+        )
+        t.update([1], True)
+        with pytest.raises(TransportFault):
+            t.flush()
+        assert t.account.syscalls == 1
+        assert t.account.update_records == 0
+
+    def test_no_injector_means_no_behaviour_change(self):
+        target = CountingTarget()
+        t = VdsoTransport(target, LAT, batch_size=2)
+        for i in range(6):
+            t.update([i], True)
+        assert len(target.updates) == 6

@@ -136,3 +136,86 @@ class TestCrossInvocationLearning:
         run2 = PredictionService()
         load_service(run2, path)
         assert run2.predict("d", [8, 9]) > 0
+
+
+class TestCorruptionDetection:
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_service(trained_service(), path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(PersistenceError):
+            load_service(PredictionService(), path)
+
+    def test_bit_flip_in_payload_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_service(trained_service(), path)
+        snapshot = json.loads(path.read_text())
+        # Flip one weight inside the domain payload: the JSON still
+        # parses, only the checksum can tell.
+        rows = snapshot["domains"]["hle"]["model_state"]["weights"]["rows"]
+        rows[0][0] += 1
+        path.write_text(json.dumps(snapshot))
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_service(PredictionService(), path)
+
+    def test_garbage_bytes_rejected_as_persistence_error(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_bytes(bytes(range(256)) * 4)
+        with pytest.raises(PersistenceError):
+            load_service(PredictionService(), path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        save_service(trained_service(), path)
+        snapshot = json.loads(path.read_text())
+        snapshot["version"] = 99
+        path.write_text(json.dumps(snapshot))
+        with pytest.raises(PersistenceError, match="version"):
+            load_service(PredictionService(), path)
+
+    def test_non_object_root_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError):
+            load_service(PredictionService(), path)
+
+    def test_legacy_snapshot_without_checksum_still_loads(self):
+        s = trained_service()
+        snapshot = snapshot_service(s)
+        del snapshot["checksum"]
+        fresh = PredictionService()
+        restore_service(fresh, snapshot)
+        assert fresh.predict("hle", [3, 4]) == s.predict("hle", [3, 4])
+
+
+class TestAtomicRestore:
+    def prior_service(self):
+        s = PredictionService()
+        s.create_domain("hle", config=PSSConfig(num_features=2))
+        for _ in range(10):
+            s.update("hle", [1, 2], True)
+        return s
+
+    def test_failed_restore_leaves_prior_state(self):
+        prior = self.prior_service()
+        before = snapshot_service(prior)
+        bad = snapshot_service(trained_service())
+        # Corrupt the *second* domain so a non-atomic restore would
+        # already have replaced the first before noticing.  Drop the
+        # checksum so the staging logic (not the checksum) is what saves
+        # us.
+        bad["domains"]["jit"]["model_name"] = "no-such-model"
+        del bad["checksum"]
+        with pytest.raises(PersistenceError):
+            restore_service(prior, bad)
+        assert snapshot_service(prior) == before
+
+    def test_checksum_failure_leaves_prior_state(self):
+        prior = self.prior_service()
+        before = snapshot_service(prior)
+        bad = snapshot_service(trained_service())
+        bad["checksum"] = (bad["checksum"] + 1) % 2**32
+        with pytest.raises(PersistenceError):
+            restore_service(prior, bad)
+        assert snapshot_service(prior) == before

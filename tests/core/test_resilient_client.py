@@ -1,0 +1,238 @@
+"""Tests for the retry / circuit-breaker / fallback client layer."""
+
+import pytest
+
+from repro.core import (
+    FaultInjector,
+    FaultPlan,
+    PredictionService,
+    PSSConfig,
+    ResilienceConfig,
+    ResilientClient,
+    TransportFault,
+)
+from repro.core.client import CircuitBreaker
+from repro.core.errors import ConfigError
+
+
+def make_client(transport="syscall", resilience=None, fallback=1,
+                plan=None, **connect_kwargs):
+    service = PredictionService()
+    client = service.connect(
+        "dom",
+        config=PSSConfig(num_features=2),
+        transport=transport,
+        resilience=resilience or ResilienceConfig(),
+        fallback=fallback,
+        fault_plan=plan,
+        **connect_kwargs,
+    )
+    return service, client
+
+
+class TestResilienceConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ResilienceConfig(max_attempts=0)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(breaker_threshold=0)
+        with pytest.raises(ConfigError):
+            ResilienceConfig(backoff_multiplier=0.5)
+
+    def test_connect_builds_resilient_client(self):
+        _, client = make_client()
+        assert isinstance(client, ResilientClient)
+
+    def test_plain_connect_stays_plain(self):
+        service = PredictionService()
+        client = service.connect("dom")
+        assert not isinstance(client, ResilientClient)
+
+
+class TestRetry:
+    def test_transient_fault_retried_and_absorbed(self):
+        # Rate 0.5 with bounded attempts: most predicts succeed on a
+        # retry; none may raise.
+        _, client = make_client(
+            plan=FaultPlan(seed=3, syscall_failure_rate=0.5),
+            resilience=ResilienceConfig(max_attempts=4,
+                                        breaker_threshold=1000),
+        )
+        for i in range(300):
+            client.predict([i % 4, 1])
+        assert client.stats.retries > 0
+        assert client.stats.backoff_ns > 0
+        # With 4 attempts at rate 0.5 almost everything goes through.
+        assert client.stats.fallback_predictions < 30
+
+    def test_backoff_grows_exponentially(self):
+        config = ResilienceConfig(max_attempts=3, backoff_base_ns=100.0,
+                                  backoff_multiplier=2.0)
+        _, client = make_client(
+            plan=FaultPlan(seed=0, syscall_failure_rate=1.0),
+            resilience=config,
+        )
+        client.predict([1, 2])  # fails all 3 attempts -> 2 backoffs
+        assert client.stats.backoff_ns == pytest.approx(100.0 + 200.0)
+
+
+class TestCircuitBreaker:
+    def failing_client(self, threshold=3, cooldown=4):
+        return make_client(
+            plan=FaultPlan(seed=0, syscall_failure_rate=1.0),
+            resilience=ResilienceConfig(max_attempts=1,
+                                        breaker_threshold=threshold,
+                                        breaker_cooldown=cooldown),
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        _, client = self.failing_client(threshold=3)
+        for i in range(3):
+            client.predict([1, 2])
+        assert client.breaker_state == CircuitBreaker.OPEN
+        assert client.stats.breaker_opens == 1
+
+    def test_open_breaker_serves_fallback_without_transport(self):
+        _, client = self.failing_client(threshold=2, cooldown=100)
+        client.predict([1, 2])
+        client.predict([1, 2])
+        syscalls_when_opened = client.latency.syscalls
+        score = client.predict([1, 2])
+        assert score == 1  # the static fallback
+        assert client.last_prediction_was_fallback
+        assert client.latency.syscalls == syscalls_when_opened
+
+    def test_half_open_probe_reopens_when_still_failing(self):
+        _, client = self.failing_client(threshold=2, cooldown=3)
+        for i in range(20):
+            client.predict([1, 2])
+        # Still injecting at rate 1.0: every probe fails, breaker
+        # reopens every cooldown window.
+        assert client.breaker_state == CircuitBreaker.OPEN
+        assert client.stats.breaker_opens > 1
+        assert client.stats.breaker_closes == 0
+
+    def test_recovers_when_transport_heals(self):
+        _, client = self.failing_client(threshold=2, cooldown=3)
+        client.predict([1, 2])
+        client.predict([1, 2])
+        assert client.breaker_state == CircuitBreaker.OPEN
+        client.attach_fault_injector(None)  # the transport healed
+        for i in range(6):
+            client.predict([1, 2])
+        assert client.breaker_state == CircuitBreaker.CLOSED
+        assert client.stats.breaker_closes == 1
+        assert not client.last_prediction_was_fallback
+
+    def test_open_breaker_drops_updates_and_resets(self):
+        _, client = self.failing_client(threshold=1, cooldown=1000)
+        client.predict([1, 2])
+        assert client.breaker_state == CircuitBreaker.OPEN
+        client.update([1, 2], True)
+        client.reset([1, 2])
+        assert client.stats.dropped_updates >= 1
+        assert client.stats.dropped_resets == 1
+
+
+class TestFallback:
+    def test_constant_fallback(self):
+        _, client = make_client(
+            fallback=7,
+            plan=FaultPlan(seed=0, syscall_failure_rate=1.0),
+            resilience=ResilienceConfig(max_attempts=1,
+                                        breaker_threshold=1),
+        )
+        assert client.predict([1, 2]) == 7
+
+    def test_callable_fallback_sees_features(self):
+        _, client = make_client(
+            fallback=lambda features: -1 if features[0] >= 8 else 1,
+            plan=FaultPlan(seed=0, syscall_failure_rate=1.0),
+            resilience=ResilienceConfig(max_attempts=1,
+                                        breaker_threshold=1),
+        )
+        assert client.predict([9, 0]) == -1
+        assert client.predict([1, 0]) == 1
+
+    def test_degraded_fraction_reported(self):
+        _, client = make_client(
+            plan=FaultPlan(seed=0, syscall_failure_rate=1.0),
+            resilience=ResilienceConfig(max_attempts=1,
+                                        breaker_threshold=1,
+                                        breaker_cooldown=1000),
+        )
+        for i in range(10):
+            client.predict([1, 2])
+        assert client.stats.degraded_fraction > 0.8
+
+
+class TestNoExceptionGuarantee:
+    @pytest.mark.parametrize("transport", ["vdso", "syscall"])
+    def test_no_fault_escapes_at_half_rate(self, transport):
+        _, client = make_client(
+            transport=transport,
+            plan=FaultPlan.uniform(0.5, seed=9),
+        )
+        for i in range(500):
+            client.predict([i % 8, 1])
+            client.update([i % 8, 1], i % 3 == 0)
+            if i % 100 == 99:
+                client.reset([i % 8, 1])
+        client.flush()
+        client.close()  # none of the above may raise
+
+    def test_plain_client_with_plan_does_raise(self):
+        # The contrast: without the resilient layer, injected faults
+        # reach the caller.
+        service = PredictionService()
+        client = service.connect(
+            "dom", transport="syscall",
+            fault_plan=FaultPlan(seed=0, syscall_failure_rate=1.0),
+        )
+        with pytest.raises(TransportFault):
+            client.predict([1, 2])
+
+    def test_close_never_raises(self):
+        _, client = make_client(
+            transport="vdso",
+            plan=FaultPlan(seed=0, syscall_failure_rate=1.0),
+        )
+        client._transport._buffer.add([1], True)
+        client.close()
+
+
+class TestZeroRateTransparency:
+    @pytest.mark.parametrize("transport", ["vdso", "syscall"])
+    def test_identical_results_and_latency_at_rate_zero(self, transport):
+        def run(resilient):
+            service = PredictionService()
+            kwargs = {}
+            if resilient:
+                kwargs = dict(resilience=ResilienceConfig(),
+                              fault_plan=FaultPlan.uniform(0.0, seed=4))
+            client = service.connect(
+                "dom", config=PSSConfig(num_features=2),
+                transport=transport, **kwargs,
+            )
+            scores = []
+            for i in range(200):
+                scores.append(client.predict([i % 8, 1]))
+                client.update([i % 8, 1], i % 2 == 0)
+            client.flush()
+            return scores, client.latency.snapshot()
+
+        plain_scores, plain_latency = run(resilient=False)
+        res_scores, res_latency = run(resilient=True)
+        assert res_scores == plain_scores
+        assert res_latency == plain_latency
+
+    def test_injector_rng_does_not_touch_global_random(self):
+        import random
+        random.seed(123)
+        expected = [random.random() for _ in range(5)]
+        random.seed(123)
+        injector = FaultInjector(FaultPlan.uniform(0.5, seed=7))
+        for _ in range(50):
+            injector.syscall_fault()
+            injector.stale_read()
+        assert [random.random() for _ in range(5)] == expected

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import LatencyModel
-from repro.core.errors import TransportError
+from repro.core.errors import TransportClosedError, TransportError
 from repro.core.transport import (
     BatchUpdateBuffer,
     SyscallTransport,
@@ -152,3 +152,38 @@ class TestMakeTransport:
     def test_unknown_kind_raises(self):
         with pytest.raises(TransportError):
             make_transport("pigeon", RecordingTarget())
+
+
+class TestCloseContract:
+    @pytest.mark.parametrize("kind", ["vdso", "syscall"])
+    def test_use_after_close_raises(self, kind):
+        t = make_transport(kind, RecordingTarget(), LAT)
+        t.close()
+        assert t.closed
+        with pytest.raises(TransportClosedError):
+            t.predict([1, 2])
+        with pytest.raises(TransportClosedError):
+            t.update([1, 2], True)
+        with pytest.raises(TransportClosedError):
+            t.reset([1, 2], False)
+        with pytest.raises(TransportClosedError):
+            t.flush()
+
+    @pytest.mark.parametrize("kind", ["vdso", "syscall"])
+    def test_close_is_idempotent(self, kind):
+        t = make_transport(kind, RecordingTarget(), LAT)
+        t.close()
+        t.close()  # must not raise
+        assert t.closed
+
+    def test_closed_error_is_a_transport_error(self):
+        # Callers catching the broad transport error keep working.
+        assert issubclass(TransportClosedError, TransportError)
+
+    def test_close_flushes_pending_batch_once(self):
+        target = RecordingTarget()
+        t = VdsoTransport(target, LAT, batch_size=10)
+        t.update([1, 2], True)
+        t.close()
+        t.close()
+        assert target.calls.count(("update", (1, 2), True)) == 1

@@ -71,9 +71,26 @@ class TestVmProperties:
         program = program_from([loop])
         jit = VM(JitParams())
         nojit = VM(with_param(JitParams(), threshold=10**9))
-        for _ in range(30):  # warmup to steady state
+
+        def event_counts(vm):
+            s = vm.jit.stats
+            return (s.loops_compiled, s.functions_compiled,
+                    s.trace_aborts, s.bridges_compiled, s.loops_freed,
+                    s.cache_evictions, s.compiles_declined)
+
+        # Warm up until steady state: a long stretch of runs with no
+        # compile/abort/free/evict event means the front-loaded costs
+        # are behind us.  (A fixed warmup count is not enough - slow
+        # counters cross the hotness threshold hundreds of runs in.)
+        stable, counts = 0, event_counts(jit)
+        for _ in range(2000):
             jit.run_program(program)
             nojit.run_program(program)
+            fresh = event_counts(jit)
+            stable = stable + 1 if fresh == counts else 0
+            counts = fresh
+            if stable >= 250:
+                break
         steady_jit = jit.run_program(program)
         steady_nojit = nojit.run_program(program)
         assert steady_jit <= steady_nojit * 1.01
