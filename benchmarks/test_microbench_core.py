@@ -1,0 +1,145 @@
+"""Microbenchmark: wall-clock ops/sec of the core hot paths.
+
+Measures the accelerated stack (flat-array weights, salt tables, LRU index
+cache, single-pass update, vDSO score cache) against the pre-acceleration
+reference implementation kept in ``tests/core/reference_impl.py``, and
+records everything to ``BENCH_core.json`` at the repo root so later PRs
+have a perf trajectory to compare against.
+
+Run from the repo root (so the ``tests`` package resolves)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_microbench_core.py -q
+
+The acceptance gate for the acceleration PR: cached predict must be at
+least 3x the reference implementation's ops/sec.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import PredictionService, PSSConfig
+from repro.core.perceptron import HashedPerceptron
+
+from tests.core.reference_impl import ReferencePerceptron
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_core.json"
+
+#: 8 features: a mid-size domain where per-feature hashing cost shows
+CONFIG = PSSConfig(num_features=8, entries_per_feature=1024)
+
+FEATURES = (12, 34, 56, 78, 90, 123, 456, 789)
+
+#: acceptance floor for cached predict vs the pre-PR reference
+REQUIRED_SPEEDUP = 3.0
+
+
+def ops_per_sec(fn, calls=20_000, repeats=3):
+    """Best-of-``repeats`` throughput of ``fn()`` over ``calls`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return calls / best
+
+
+def trained(model):
+    """Put some signal in the weights so predict sums non-zero cells."""
+    for i in range(32):
+        model.update([v + i for v in FEATURES], i % 3 != 0)
+    return model
+
+
+def measure_all():
+    features = list(FEATURES)
+
+    # -- model level: reference (pre-PR) vs accelerated ---------------------
+    reference = trained(ReferencePerceptron(CONFIG))
+    fast = trained(HashedPerceptron(CONFIG))
+    assert reference.predict(features) == fast.predict(features)
+
+    baseline_predict = ops_per_sec(lambda: reference.predict(features))
+    cached_predict = ops_per_sec(lambda: fast.predict(features))
+
+    varying = iter(range(10**9))
+    uncached_predict = ops_per_sec(
+        lambda: fast.predict(
+            [next(varying) + v for v in FEATURES]
+        ),
+        calls=5_000,
+    )
+    baseline_update = ops_per_sec(
+        lambda: reference.update(features, True), calls=10_000
+    )
+    fast_update = ops_per_sec(
+        lambda: fast.update(features, True), calls=10_000
+    )
+
+    # -- end to end: client through the vDSO transport ----------------------
+    service = PredictionService()
+    vdso = service.connect("bench-vdso", config=CONFIG, transport="vdso",
+                           batch_size=32)
+    syscall = service.connect("bench-sys", config=CONFIG,
+                              transport="syscall")
+    client_predict_vdso = ops_per_sec(lambda: vdso.predict(features))
+    client_predict_syscall = ops_per_sec(
+        lambda: syscall.predict(features), calls=5_000
+    )
+    client_update = ops_per_sec(
+        lambda: vdso.update(features, True), calls=10_000
+    )
+
+    flusher = service.connect("bench-flush", config=CONFIG,
+                              transport="vdso", batch_size=1024)
+
+    def update_and_flush():
+        flusher.update(features, True)
+        flusher.flush()
+
+    client_flush = ops_per_sec(update_and_flush, calls=5_000)
+
+    return {
+        "config": {
+            "num_features": CONFIG.num_features,
+            "entries_per_feature": CONFIG.entries_per_feature,
+        },
+        "baseline": {
+            "predict_ops_per_sec": baseline_predict,
+            "update_ops_per_sec": baseline_update,
+        },
+        "current": {
+            "predict_cached_ops_per_sec": cached_predict,
+            "predict_uncached_ops_per_sec": uncached_predict,
+            "update_ops_per_sec": fast_update,
+            "client_predict_vdso_ops_per_sec": client_predict_vdso,
+            "client_predict_syscall_ops_per_sec": client_predict_syscall,
+            "client_update_vdso_ops_per_sec": client_update,
+            "client_update_flush_pairs_per_sec": client_flush,
+        },
+        "speedup": {
+            "cached_predict_vs_baseline": cached_predict / baseline_predict,
+            "uncached_predict_vs_baseline":
+                uncached_predict / baseline_predict,
+            "update_vs_baseline": fast_update / baseline_update,
+        },
+        "score_cache_hit_rate": vdso.latency.cache_hit_rate,
+    }
+
+
+def test_microbench_core_hot_paths():
+    results = measure_all()
+    BENCH_PATH.write_text(json.dumps(results, indent=1) + "\n")
+
+    speedup = results["speedup"]["cached_predict_vs_baseline"]
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"cached predict is only {speedup:.2f}x the reference "
+        f"(need >= {REQUIRED_SPEEDUP}x); see {BENCH_PATH}"
+    )
+    # The uncached path (salt table + flat array, no memoized indices)
+    # must also never regress below the reference implementation.
+    assert results["speedup"]["uncached_predict_vs_baseline"] >= 1.0
+    # Updates train identically but hash at most once.
+    assert results["speedup"]["update_vs_baseline"] >= 1.0

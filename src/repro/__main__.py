@@ -55,9 +55,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment or utility to run")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sweeps for a fast look")
+    parser.add_argument("--report", action="store_true",
+                        help="append per-domain fast-path effectiveness "
+                             "(cache hit rates, weight generations)")
     parsed = parser.parse_args(argv)
 
     passthrough = ["--quick"] if parsed.quick else []
+    if parsed.report:
+        passthrough.append("--report")
     if parsed.command == "models":
         return cmd_models(passthrough)
     if parsed.command == "all":

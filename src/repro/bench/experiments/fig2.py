@@ -17,7 +17,7 @@ from repro.core import PredictionService
 from repro.htm import ComparisonRow, compare_policies
 from repro.htm.stamp import FIGURE2_ORDER, PROFILES
 from repro.bench.figures import bar_chart
-from repro.bench.tables import format_table, pct
+from repro.bench.tables import fastpath_table, format_table, pct
 
 THREAD_COUNTS = (1, 2, 4, 8, 16)
 
@@ -27,6 +27,8 @@ class Figure2Result:
     """All Figure 2 data points plus the paper's headline average."""
 
     rows: list[ComparisonRow] = field(default_factory=list)
+    #: per-workload (label, DomainReport) pairs for --report output
+    domain_reports: list = field(default_factory=list)
 
     @property
     def average_pss_improvement(self) -> float:
@@ -58,6 +60,9 @@ def run_figure2(workloads=FIGURE2_ORDER,
             result.rows.append(compare_policies(
                 PROFILES[name], threads, seeds=seeds, service=service,
             ))
+        result.domain_reports.extend(
+            (name, report) for report in service.reports()
+        )
     return result
 
 
@@ -88,6 +93,10 @@ def main(argv=None) -> int:
           f"{pct(result.average_pss_improvement)} (paper: +34%)")
     print(f"average HTMBench improvement: "
           f"{pct(result.average_htmbench_improvement)}")
+    if "--report" in args:
+        print()
+        print("fast-path effectiveness (per workload):")
+        print(fastpath_table(result.domain_reports))
     return 0
 
 

@@ -13,13 +13,16 @@ import sys
 from dataclasses import dataclass, field
 
 from repro.bench.figures import bar_chart
-from repro.bench.tables import format_table, pct
+from repro.bench.tables import fastpath_table, format_table, pct
+from repro.core import PredictionService
 from repro.mm import FIGURE6_WORKERS, Figure6Column, compare_throttles
 
 
 @dataclass
 class Figure6Result:
     columns: list[Figure6Column] = field(default_factory=list)
+    #: per-worker-count (label, DomainReport) pairs for --report output
+    domain_reports: list = field(default_factory=list)
 
     @property
     def average_pss_improvement(self) -> float:
@@ -39,9 +42,15 @@ def run_figure6(workers=FIGURE6_WORKERS, seed: int = 0,
     for count in workers:
         kwargs = {} if duration_ns is None else \
             {"duration_ns": duration_ns}
+        # One service per column, as compare_throttles would create
+        # internally - owned here so --report can read its domains.
+        service = PredictionService()
         result.columns.append(
             compare_throttles(count, seed=seed, pss_runs=pss_runs,
-                              **kwargs)
+                              service=service, **kwargs)
+        )
+        result.domain_reports.extend(
+            (f"mmap-{count}", report) for report in service.reports()
         )
     return result
 
@@ -71,6 +80,10 @@ def main(argv=None) -> int:
     ))
     print(f"\naverage PSS latency improvement: "
           f"{pct(result.average_pss_improvement)} (paper: +33%)")
+    if "--report" in args:
+        print()
+        print("fast-path effectiveness (per worker count):")
+        print(fastpath_table(result.domain_reports))
     return 0
 
 

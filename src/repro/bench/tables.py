@@ -30,6 +30,39 @@ def pct(value: float) -> str:
     return f"{value:+.1%}"
 
 
+def fastpath_table(labeled_reports) -> str:
+    """Fast-path effectiveness table from labeled domain reports.
+
+    ``labeled_reports`` is an iterable of ``(label, DomainReport)`` pairs
+    (the label names the scenario/workload the domain served).  Shown per
+    row: prediction volume, how many predictions client-side score caches
+    absorbed, the model-side index-cache hit rate, and the final weight
+    generation - the ``--report`` view of how much work the caches saved.
+    """
+    rows = []
+    for label, report in labeled_reports:
+        stats = report.stats
+        rows.append([
+            label,
+            report.name,
+            stats.predictions,
+            stats.cached_predictions,
+            pct_plain(report.cached_prediction_rate),
+            pct_plain(report.index_cache_hit_rate),
+            report.generation,
+        ])
+    return format_table(
+        ["scenario", "domain", "predicts", "cached",
+         "cached%", "idx-hit%", "weight-gen"],
+        rows,
+    )
+
+
+def pct_plain(value: float) -> str:
+    """Format a ratio as an unsigned percentage."""
+    return f"{value:.1%}"
+
+
 def series_summary(series: Sequence[float], points: int = 8) -> str:
     """Downsample a long numeric series for textual display."""
     if not series:

@@ -21,6 +21,7 @@ from typing import Callable, Sequence, Union
 from repro.core.config import LatencyModel, ResilienceConfig
 from repro.core.errors import TransportFault
 from repro.core.faults import FaultInjector
+from repro.core.features import canonical_features
 from repro.core.service import DomainHandle
 from repro.core.stats import LatencyAccount, ResilienceStats
 from repro.core.transport import Transport, make_transport
@@ -65,16 +66,18 @@ class PSSClient:
 
     def predict(self, features: Sequence[int]) -> int:
         """Signed prediction score: ``int predict(int*, int)``."""
-        return self._transport.predict(features)
+        # Canonicalize once at the API boundary; caches and batch
+        # buffers below reuse this tuple instead of re-tupling.
+        return self._transport.predict(canonical_features(features))
 
     def update(self, features: Sequence[int], direction: bool) -> None:
         """Feedback: ``void update(int*, int, bool dir)``."""
-        self._transport.update(features, direction)
+        self._transport.update(canonical_features(features), direction)
 
     def reset(self, features: Sequence[int],
               reset_all: bool = False) -> None:
         """State wipe: ``void reset(int*, int, bool all)``."""
-        self._transport.reset(features, reset_all)
+        self._transport.reset(canonical_features(features), reset_all)
 
     # -- conveniences ---------------------------------------------------------
 
@@ -218,6 +221,7 @@ class ResilientClient(PSSClient):
     # -- the guarded calls ---------------------------------------------------
 
     def predict(self, features: Sequence[int]) -> int:
+        features = canonical_features(features)
         self.stats.predictions += 1
         self._last_was_fallback = False
         if not self._breaker.allow():
@@ -238,6 +242,7 @@ class ResilientClient(PSSClient):
         return score
 
     def update(self, features: Sequence[int], direction: bool) -> None:
+        features = canonical_features(features)
         if not self._breaker.allow():
             self.stats.dropped_updates += 1
             return
@@ -257,6 +262,7 @@ class ResilientClient(PSSClient):
 
     def reset(self, features: Sequence[int],
               reset_all: bool = False) -> None:
+        features = canonical_features(features)
         if not self._breaker.allow():
             self.stats.dropped_resets += 1
             return

@@ -18,6 +18,16 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 
+def canonical_features(features: Sequence[int]) -> tuple[int, ...]:
+    """Tuple view of a feature vector, copy-free when already a tuple.
+
+    Clients canonicalize once at the API boundary; every layer below
+    (transport buffers, caches keyed by vector) then passes the same
+    tuple through instead of re-tupling per layer.
+    """
+    return features if type(features) is tuple else tuple(features)
+
+
 def round_to_msf(value: int, figures: int = 1) -> int:
     """Round ``value`` keeping only its ``figures`` most significant figures.
 

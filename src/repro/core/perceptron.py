@@ -34,9 +34,25 @@ class HashedPerceptron:
         """Underlying weight matrix (exposed for tests and ablations)."""
         return self._weights
 
+    @property
+    def generation(self) -> int:
+        """Weight-mutation counter (see :attr:`WeightMatrix.generation`)."""
+        return self._weights.generation
+
     def score(self, features: Sequence[int]) -> int:
         """Raw weighted sum; sign is the decision, magnitude confidence."""
         return self._weights.dot(features)
+
+    def predict_and_select(
+        self, features: Sequence[int]
+    ) -> tuple[int, tuple[int, ...]]:
+        """Score plus the selected weight indices, hashing at most once.
+
+        The returned indices feed :meth:`WeightMatrix.adjust_at`, which is
+        how :meth:`update` trains without re-hashing the vector it just
+        scored.
+        """
+        return self._weights.dot_and_indices(features)
 
     def predict(self, features: Sequence[int]) -> int:
         """Signed prediction score for ``features``.
@@ -61,11 +77,11 @@ class HashedPerceptron:
         already agreed with high confidence (margin rule), which both bounds
         weight growth and prevents lock-in.
         """
-        score = self.score(features)
+        score, selected = self._weights.dot_and_indices(features)
         agreed = (score >= self.config.threshold) == direction
         if agreed and abs(score) > self.config.effective_margin:
             return
-        self._weights.adjust(features, 1 if direction else -1)
+        self._weights.adjust_at(selected, 1 if direction else -1)
 
     def reset(self, features: Sequence[int], reset_all: bool) -> None:
         """Selective or total reset (the paper's ``reset`` call)."""

@@ -130,6 +130,10 @@ def restore_service(service: PredictionService,
         committed = service.domain(name)
         committed.model = domain.model
         committed.stats = domain.stats
+        # A restore swaps learned weights in behind any existing caches:
+        # bump the generation offset so score caches keyed on the old
+        # counter cannot serve pre-restore values.
+        committed.generation_offset += 1
 
 
 def save_service(service: PredictionService, path: str | Path,

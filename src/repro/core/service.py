@@ -44,23 +44,56 @@ class Domain:
     model_name: str
     policy: DomainPolicy = field(default_factory=open_policy)
     stats: PredictionStats = field(default_factory=PredictionStats)
+    #: weight-generation offset: bumped per mutation for models that do
+    #: not track their own generation, and once per restore that swaps
+    #: learned state in (see :attr:`generation`)
+    generation_offset: int = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter that changes whenever the weights may have.
+
+        Read-only fast paths (the vDSO transport's score cache) treat a
+        cached score as current exactly while this value is unchanged -
+        the paper's vDSO semantics, where the mapping exposes the
+        kernel's latest published weight version.  Models that track
+        their own mutation counter (the hashed perceptron) contribute it
+        directly, so feedback the margin rule discarded does not
+        invalidate anything; other models are bumped per update/reset.
+        """
+        model_generation = getattr(self.model, "generation", None)
+        if model_generation is None:
+            return self.generation_offset
+        return self.generation_offset + model_generation
 
     def predict(self, features: Sequence[int]) -> int:
         score = self.model.predict(features)
         self.stats.record_prediction(score, self.config.threshold)
         return score
 
+    def record_cached_prediction(self, score: int) -> None:
+        """Account a prediction a client served from its score cache."""
+        self.stats.record_cached_prediction(score, self.config.threshold)
+
     def update(self, features: Sequence[int], direction: bool) -> None:
         self.model.update(features, direction)
+        if getattr(self.model, "generation", None) is None:
+            self.generation_offset += 1
         self.stats.record_update(direction)
 
     def reset(self, features: Sequence[int], reset_all: bool) -> None:
         self.model.reset(features, reset_all)
+        if getattr(self.model, "generation", None) is None:
+            self.generation_offset += 1
         self.stats.record_reset()
 
     def report(self) -> DomainReport:
+        weights = getattr(self.model, "weights", None)
         return DomainReport(
-            name=self.name, model=self.model_name, stats=self.stats
+            name=self.name, model=self.model_name, stats=self.stats,
+            generation=self.generation,
+            index_cache_hits=getattr(weights, "index_cache_hits", 0),
+            index_cache_misses=getattr(weights, "index_cache_misses", 0),
         )
 
 
@@ -87,9 +120,24 @@ class DomainHandle:
     def threshold(self) -> int:
         return self._domain.config.threshold
 
+    @property
+    def generation(self) -> int:
+        """The domain's weight-generation counter (read-only, no policy).
+
+        Mirrors reading a version word out of the vDSO page: transports
+        poll it to decide whether their cached scores are still current.
+        """
+        return self._domain.generation
+
     def predict(self, features: Sequence[int]) -> int:
         self._domain.policy.check_predict(self._identity, self._domain.name)
         return self._domain.predict(features)
+
+    def record_cached_prediction(self, score: int) -> None:
+        """Account a cache-served prediction, with the same policy check
+        a real predict would have passed."""
+        self._domain.policy.check_predict(self._identity, self._domain.name)
+        self._domain.record_cached_prediction(score)
 
     def update(self, features: Sequence[int], direction: bool) -> None:
         self._domain.policy.check_update(self._identity, self._domain.name)

@@ -25,11 +25,23 @@ class PredictionStats:
     rewards: int = 0
     penalties: int = 0
     resets: int = 0
+    #: predictions answered by a client-side score cache without
+    #: re-evaluating the model (the weights had not changed)
+    cached_predictions: int = 0
 
     def record_prediction(self, score: int, threshold: int) -> None:
         self.predictions += 1
         if score >= threshold:
             self.positive_predictions += 1
+
+    def record_cached_prediction(self, score: int, threshold: int) -> None:
+        """A prediction served from a generation-keyed score cache.
+
+        Counted as a normal prediction too, so accuracy proxies and
+        activity totals stay identical whether or not the fast path hit.
+        """
+        self.record_prediction(score, threshold)
+        self.cached_predictions += 1
 
     def record_update(self, direction: bool) -> None:
         self.updates += 1
@@ -60,6 +72,7 @@ class PredictionStats:
         self.rewards += other.rewards
         self.penalties += other.penalties
         self.resets += other.resets
+        self.cached_predictions += other.cached_predictions
 
 
 @dataclass
@@ -72,6 +85,14 @@ class LatencyAccount:
     syscalls: int = 0
     #: update records delivered (across however many syscalls)
     update_records: int = 0
+    #: predictions answered by the transport's score cache (no service call)
+    cache_hits: int = 0
+    #: predictions that had to evaluate the model (cacheable path only)
+    cache_misses: int = 0
+    #: simulated ns charged, broken down by operation kind
+    op_ns: dict[str, float] = field(default_factory=dict)
+    #: call counts, broken down by operation kind
+    op_calls: dict[str, int] = field(default_factory=dict)
 
     def charge_vdso(self, ns: float) -> None:
         self.vdso_ns += ns
@@ -81,6 +102,33 @@ class LatencyAccount:
         self.syscall_ns += ns
         self.syscalls += 1
         self.update_records += records
+
+    def charge_op(self, op: str, ns: float) -> None:
+        """Attribute ``ns`` of already-charged crossing time to one op kind.
+
+        Transports call this alongside :meth:`charge_vdso` /
+        :meth:`charge_syscall`, so ``op_ns`` is a *breakdown* of
+        :attr:`total_ns` by operation, not additional time.
+        """
+        self.op_ns[op] = self.op_ns.get(op, 0.0) + ns
+        self.op_calls[op] = self.op_calls.get(op, 0) + 1
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        self.cache_misses += 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cacheable predictions served without the service."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def mean_op_ns(self, op: str) -> float:
+        """Average simulated ns per call of one operation kind."""
+        calls = self.op_calls.get(op, 0)
+        return self.op_ns.get(op, 0.0) / calls if calls else 0.0
 
     @property
     def total_ns(self) -> float:
@@ -103,6 +151,16 @@ class LatencyAccount:
             "vdso_calls": self.vdso_calls,
             "syscalls": self.syscalls,
             "update_records": self.update_records,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "ops": {
+                op: {
+                    "calls": self.op_calls.get(op, 0),
+                    "ns": self.op_ns.get(op, 0.0),
+                }
+                for op in sorted(set(self.op_calls) | set(self.op_ns))
+            },
         }
 
 
@@ -143,3 +201,20 @@ class DomainReport:
     model: str
     stats: PredictionStats = field(default_factory=PredictionStats)
     latency: LatencyAccount = field(default_factory=LatencyAccount)
+    #: weight-generation counter at report time (see Domain.generation)
+    generation: int = 0
+    #: feature-vector -> selected-indices cache activity (model side)
+    index_cache_hits: int = 0
+    index_cache_misses: int = 0
+
+    @property
+    def index_cache_hit_rate(self) -> float:
+        lookups = self.index_cache_hits + self.index_cache_misses
+        return self.index_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def cached_prediction_rate(self) -> float:
+        """Share of predictions served from client-side score caches."""
+        if not self.stats.predictions:
+            return 0.0
+        return self.stats.cached_predictions / self.stats.predictions

@@ -29,6 +29,7 @@ from repro.core.errors import (
     TransportFault,
 )
 from repro.core.faults import FaultInjector
+from repro.core.features import canonical_features
 from repro.core.stats import LatencyAccount
 
 
@@ -99,6 +100,7 @@ class Transport:
         """Resets always cross via syscall: they write kernel state."""
         self._ensure_open()
         self.account.charge_syscall(self._latency.syscall_ns)
+        self.account.charge_op("reset", self._latency.syscall_ns)
         self.flush()
         fault = self._syscall_fault()
         if fault is not None:
@@ -132,6 +134,7 @@ class SyscallTransport(Transport):
     def predict(self, features: Sequence[int]) -> int:
         self._ensure_open()
         self.account.charge_syscall(self._latency.syscall_ns)
+        self.account.charge_op("predict", self._latency.syscall_ns)
         fault = self._syscall_fault()
         if fault is not None:
             raise fault  # the failed crossing still cost a syscall
@@ -143,8 +146,10 @@ class SyscallTransport(Transport):
         if fault is not None:
             # Crossing attempted and paid for, but no record delivered.
             self.account.charge_syscall(self._latency.syscall_ns)
+            self.account.charge_op("update", self._latency.syscall_ns)
             raise fault
         self.account.charge_syscall(self._latency.syscall_ns, records=1)
+        self.account.charge_op("update", self._latency.syscall_ns)
         self._target.update(features, direction)
 
 
@@ -174,7 +179,9 @@ class BatchUpdateBuffer:
     def add(self, features: Sequence[int], direction: bool) -> None:
         if self.full:
             raise TransportError("buffer full; flush before adding")
-        self._records.append((tuple(features), direction))
+        # Clients canonicalize to tuples at the boundary; only re-tuple
+        # vectors that arrived through some other path.
+        self._records.append((canonical_features(features), direction))
 
     def drain(self) -> list[tuple[tuple[int, ...], bool]]:
         records, self._records = self._records, []
@@ -188,6 +195,25 @@ class VdsoTransport(Transport):
     direct memory read at vDSO cost, while ``update`` records are pooled
     and flushed once the batch fills (or on an explicit :meth:`flush`).
 
+    When the target publishes a weight-``generation`` counter (a
+    :class:`repro.core.service.DomainHandle` does), predictions are
+    additionally memoized in a generation-keyed score cache: a feature
+    vector predicted again while the weights have not changed is answered
+    from the cache without re-evaluating the model - exactly the paper's
+    read-only mapping, where repeated reads of unchanged kernel state
+    cost only the read.  Cached answers are bit-identical (the weights
+    did not move), still charge the vDSO read cost, and still count in
+    the domain's prediction stats.  Any weight mutation bumps the
+    generation and invalidates the whole cache.
+
+    While a fault injector that can inject stale reads is attached, the
+    score cache is bypassed: the injector's stale-read dice must roll on
+    every read (determinism), injected staleness must not be masked by a
+    memoized fresh score, and stale answers must never poison the cache.
+    An injector with a zero stale-read rate leaves the fast path intact -
+    its stale dice consume no randomness, so caching cannot perturb the
+    fault sequence.
+
     Note the behavioural consequence the paper accepts: between flushes the
     model has not yet seen the buffered feedback, so learning lags by up to
     ``batch_size`` updates.  The transport ablation benchmark measures this
@@ -199,6 +225,9 @@ class VdsoTransport(Transport):
     #: feature vectors remembered for stale-read injection
     STALE_CACHE_ENTRIES = 512
 
+    #: bound on the generation-keyed score cache
+    SCORE_CACHE_ENTRIES = 1024
+
     def __init__(self, target: ServiceTarget,
                  latency: LatencyModel | None = None,
                  account: LatencyAccount | None = None,
@@ -207,27 +236,69 @@ class VdsoTransport(Transport):
         self._buffer = BatchUpdateBuffer(batch_size)
         #: last fresh score per feature vector, kept only under injection
         self._stale_cache: dict[tuple[int, ...], int] = {}
+        #: fresh score per feature vector, valid for one weight generation
+        self._score_cache: dict[tuple[int, ...], int] = {}
+        self._score_cache_generation = -1
+        # Capability probe, once: caching needs a generation counter to
+        # key validity on; stats parity additionally needs the recorder.
+        self._generation_source = (
+            target if hasattr(target, "generation") else None
+        )
+        self._cached_recorder = getattr(
+            target, "record_cached_prediction", None
+        )
 
     @property
     def pending_updates(self) -> int:
         """Updates buffered but not yet delivered to the service."""
         return len(self._buffer)
 
+    @property
+    def score_cache_size(self) -> int:
+        """Entries currently held by the generation-keyed score cache."""
+        return len(self._score_cache)
+
     def predict(self, features: Sequence[int]) -> int:
         self._ensure_open()
         self.account.charge_vdso(self._latency.vdso_predict_ns)
-        if self._injector is None:
-            return self._target.predict(features)
+        self.account.charge_op("predict", self._latency.vdso_predict_ns)
+        key = canonical_features(features)
+        injector = self._injector
+        if injector is not None and injector.plan.stale_read_rate > 0.0:
+            return self._predict_injected(key)
+        source = self._generation_source
+        if source is None:
+            return self._target.predict(key)
+        cache = self._score_cache
+        generation = source.generation
+        if generation != self._score_cache_generation:
+            if cache:
+                cache.clear()
+            self._score_cache_generation = generation
+        else:
+            score = cache.get(key)
+            if score is not None:
+                self.account.record_cache_hit()
+                if self._cached_recorder is not None:
+                    self._cached_recorder(score)
+                return score
+        self.account.record_cache_miss()
+        score = self._target.predict(key)
+        if len(cache) >= self.SCORE_CACHE_ENTRIES:
+            cache.pop(next(iter(cache)))
+        cache[key] = score
+        return score
+
+    def _predict_injected(self, key: tuple[int, ...]) -> int:
         # A read-only mapping can lag the kernel's weight writes: a
         # stale read answers from the last score observed for this
         # feature vector.  Reads never fail - staleness is the vDSO's
         # only failure mode.
-        key = tuple(features)
         if self._injector.stale_read():
             stale = self._stale_cache.get(key)
             if stale is not None:
                 return stale
-        score = self._target.predict(features)
+        score = self._target.predict(key)
         if key not in self._stale_cache \
                 and len(self._stale_cache) >= self.STALE_CACHE_ENTRIES:
             self._stale_cache.pop(next(iter(self._stale_cache)))
@@ -247,6 +318,7 @@ class VdsoTransport(Transport):
             return
         cost = (self._latency.syscall_ns
                 + self._latency.batch_record_ns * len(records))
+        self.account.charge_op("flush", cost)
         delivered = len(records)
         fault = self._syscall_fault()
         if fault is None and self._injector is not None:

@@ -4,15 +4,24 @@ A :class:`WeightMatrix` is the paper's "weight matrix": one row per feature,
 ``entries_per_feature`` columns, plus a single bias weight.  Weights saturate
 at the configured bit width rather than wrapping, matching hardware-style
 perceptron tables (Jimenez & Lin).
+
+Hot-path layout (see docs/PERFORMANCE.md): the matrix is stored as one flat
+``array`` in row-major order rather than a list of lists, the per-slot hash
+salts are precomputed once at construction, and a bounded LRU cache maps
+feature vectors to their selected flat indices so a vector that repeats is
+hashed exactly once.  All of it is bit-identical to the plain list-of-lists
+implementation (kept as the reference model in
+``tests/core/reference_impl.py``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from array import array
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.config import PSSConfig
 from repro.core.errors import FeatureError
-from repro.core.hashing import table_index
+from repro.core.hashing import salt_table, salted_hash
 
 
 def saturate(value: int, lo: int, hi: int) -> int:
@@ -24,22 +33,41 @@ def saturate(value: int, lo: int, hi: int) -> int:
     return value
 
 
+def _weight_typecode(weight_bits: int) -> str:
+    """Smallest stdlib array typecode that holds the signed weight range."""
+    for code in ("b", "h", "i", "l", "q"):
+        if array(code).itemsize * 8 >= weight_bits:
+            return code
+    return "q"
+
+
 class WeightMatrix:
     """Per-feature hashed weight tables with saturating arithmetic.
 
-    The matrix is deliberately plain: a list of lists of ints, a bias, and
-    the index arithmetic to go from a feature vector to the selected cells.
-    Every model-level behaviour (thresholds, training policy) lives in
-    :mod:`repro.core.perceptron`.
+    The matrix holds one flat signed array (row-major, so the cell for
+    feature ``i`` column ``c`` lives at ``i * entries_per_feature + c``),
+    a bias, and the index arithmetic to go from a feature vector to the
+    selected cells.  Every model-level behaviour (thresholds, training
+    policy) lives in :mod:`repro.core.perceptron`.
     """
+
+    #: bound on the feature-vector -> selected-indices LRU cache
+    INDEX_CACHE_ENTRIES = 4096
 
     def __init__(self, config: PSSConfig) -> None:
         self._config = config
-        self._rows = [
-            [0] * config.entries_per_feature
-            for _ in range(config.num_features)
-        ]
+        self._entries = config.entries_per_feature
+        self._flat = array(
+            _weight_typecode(config.weight_bits),
+            [0] * (config.num_features * self._entries),
+        )
         self._bias = 0
+        self._salts = salt_table(config.num_features, config.seed)
+        #: feature tuple -> tuple of selected flat indices (LRU-bounded)
+        self._index_cache: dict[tuple[int, ...], tuple[int, ...]] = {}
+        self.index_cache_hits = 0
+        self.index_cache_misses = 0
+        self._generation = 0
 
     @property
     def config(self) -> PSSConfig:
@@ -49,8 +77,17 @@ class WeightMatrix:
     def bias(self) -> int:
         return self._bias
 
-    def _check_features(self, features: Iterable[int]) -> list[int]:
-        feats = list(features)
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every weight mutation.
+
+        Read-only caches (the vDSO transport's score cache) key their
+        validity on this: a cached score is current iff the generation
+        it was observed at is still the matrix's generation.
+        """
+        return self._generation
+
+    def _check_features(self, feats: Sequence[int]) -> None:
         if len(feats) != self._config.num_features:
             raise FeatureError(
                 f"expected {self._config.num_features} features, "
@@ -61,24 +98,49 @@ class WeightMatrix:
                 raise FeatureError(
                     f"features must be ints, got {value!r}"
                 )
-        return feats
+
+    def _flat_indices(self, features: Iterable[int]) -> tuple[int, ...]:
+        """Selected flat-array index per feature, cached per vector.
+
+        Validation runs once, on the cache miss that first admits a
+        vector; later lookups of the same vector skip straight to the
+        cached indices.  (A numerically equal spelling of an
+        already-admitted vector - ``1.0`` for ``1`` - therefore also
+        takes the fast path: tuples compare by value.)
+        """
+        key = features if type(features) is tuple else tuple(features)
+        cache = self._index_cache
+        cached = cache.pop(key, None)
+        if cached is not None:
+            cache[key] = cached  # re-insert: most recently used
+            self.index_cache_hits += 1
+            return cached
+        self.index_cache_misses += 1
+        self._check_features(key)
+        entries = self._entries
+        selected = []
+        base = 0
+        for salt, value in zip(self._salts, key):
+            selected.append(base + salted_hash(salt, value) % entries)
+            base += entries
+        result = tuple(selected)
+        if len(cache) >= self.INDEX_CACHE_ENTRIES:
+            cache.pop(next(iter(cache)))
+        cache[key] = result
+        return result
 
     def indices(self, features: Iterable[int]) -> list[int]:
         """Hashed column index selected by each feature value."""
-        feats = self._check_features(features)
-        entries = self._config.entries_per_feature
-        seed = self._config.seed
+        entries = self._entries
         return [
-            table_index(i, value, entries, seed)
-            for i, value in enumerate(feats)
+            flat - row * entries
+            for row, flat in enumerate(self._flat_indices(features))
         ]
 
     def selected(self, features: Iterable[int]) -> list[int]:
         """Weights selected by a feature vector (excluding the bias)."""
-        return [
-            self._rows[row][col]
-            for row, col in enumerate(self.indices(features))
-        ]
+        flat = self._flat
+        return [flat[i] for i in self._flat_indices(features)]
 
     def dot(self, features: Iterable[int]) -> int:
         """Bias plus the sum of the selected weights.
@@ -86,16 +148,46 @@ class WeightMatrix:
         This is the perceptron output the service returns from ``predict``:
         its sign is the decision, its magnitude the confidence.
         """
-        return self._bias + sum(self.selected(features))
+        flat = self._flat
+        return self._bias + sum(
+            map(flat.__getitem__, self._flat_indices(features))
+        )
+
+    def dot_and_indices(
+        self, features: Iterable[int]
+    ) -> tuple[int, tuple[int, ...]]:
+        """Score plus the flat indices that produced it, in one pass.
+
+        The indices can be handed straight to :meth:`adjust_at`, so a
+        train-after-predict sequence hashes the vector at most once
+        (zero times when the index cache already holds it).
+        """
+        selected = self._flat_indices(features)
+        flat = self._flat
+        return self._bias + sum(map(flat.__getitem__, selected)), selected
 
     def adjust(self, features: Iterable[int], delta: int) -> None:
         """Add ``delta`` to every selected weight and the bias, saturating."""
+        self.adjust_at(self._flat_indices(features), delta)
+
+    def adjust_at(self, flat_indices: Sequence[int], delta: int) -> None:
+        """Apply ``delta`` at already-selected indices (saturation inlined)."""
         lo, hi = self._config.weight_min, self._config.weight_max
-        for row, col in enumerate(self.indices(features)):
-            self._rows[row][col] = saturate(
-                self._rows[row][col] + delta, lo, hi
-            )
-        self._bias = saturate(self._bias + delta, lo, hi)
+        flat = self._flat
+        for i in flat_indices:
+            value = flat[i] + delta
+            if value > hi:
+                value = hi
+            elif value < lo:
+                value = lo
+            flat[i] = value
+        value = self._bias + delta
+        if value > hi:
+            value = hi
+        elif value < lo:
+            value = lo
+        self._bias = value
+        self._generation += 1
 
     def reset_entry(self, features: Iterable[int]) -> None:
         """Zero only the cells selected by ``features`` (selective reset).
@@ -103,45 +195,52 @@ class WeightMatrix:
         Implements the paper's ``reset(features, len, all=False)``: "clean a
         specific entry" so part of the state can be reused.
         """
-        for row, col in enumerate(self.indices(features)):
-            self._rows[row][col] = 0
+        flat = self._flat
+        for i in self._flat_indices(features):
+            flat[i] = 0
+        self._generation += 1
 
     def reset_all(self) -> None:
         """Zero every weight and the bias (``reset(..., all=True)``)."""
-        for row in self._rows:
-            for col in range(len(row)):
-                row[col] = 0
+        for i in range(len(self._flat)):
+            self._flat[i] = 0
         self._bias = 0
+        self._generation += 1
 
     def nonzero_count(self) -> int:
         """Number of non-zero weights (bias included); used by tests."""
         count = 1 if self._bias else 0
-        for row in self._rows:
-            count += sum(1 for w in row if w)
+        count += sum(1 for w in self._flat if w)
         return count
 
     def iter_weights(self) -> Iterator[int]:
         """Yield every weight, bias last (stable order for snapshots)."""
-        for row in self._rows:
-            yield from row
+        yield from self._flat
         yield self._bias
 
     def to_state(self) -> dict:
-        """Serializable snapshot of the matrix."""
+        """Serializable snapshot of the matrix (list-of-lists layout)."""
+        entries = self._entries
+        flat = self._flat.tolist()
         return {
-            "rows": [list(row) for row in self._rows],
+            "rows": [
+                flat[row * entries:(row + 1) * entries]
+                for row in range(self._config.num_features)
+            ],
             "bias": self._bias,
         }
 
     def load_state(self, state: dict) -> None:
         """Restore a snapshot produced by :meth:`to_state`."""
         rows = state["rows"]
-        if len(rows) != len(self._rows) or any(
-            len(row) != self._config.entries_per_feature for row in rows
+        if len(rows) != self._config.num_features or any(
+            len(row) != self._entries for row in rows
         ):
             raise FeatureError("snapshot shape does not match configuration")
         lo, hi = self._config.weight_min, self._config.weight_max
-        self._rows = [
-            [saturate(int(w), lo, hi) for w in row] for row in rows
-        ]
+        restored = array(self._flat.typecode)
+        for row in rows:
+            restored.extend(saturate(int(w), lo, hi) for w in row)
+        self._flat = restored
         self._bias = saturate(int(state["bias"]), lo, hi)
+        self._generation += 1

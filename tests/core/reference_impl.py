@@ -1,0 +1,161 @@
+"""Reference (pre-acceleration) implementations for identity testing.
+
+These classes preserve, verbatim, the plain list-of-lists weight matrix and
+the re-hashing perceptron update path the hot-path acceleration layer
+replaced.  The accelerated stack in :mod:`repro.core.weights` /
+:mod:`repro.core.perceptron` must stay *bit-identical* to these - same
+scores, same trained weights, same snapshots - which
+``tests/core/test_fastpath_identity.py`` checks property-style, and
+``benchmarks/test_microbench_core.py`` uses as the perf baseline.
+
+Do not "optimize" this file: its value is being the slow, obviously
+correct specification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.config import PSSConfig
+from repro.core.errors import FeatureError
+from repro.core.hashing import table_index
+from repro.core.weights import saturate
+
+
+class ReferenceWeightMatrix:
+    """The seed repo's WeightMatrix: list-of-lists, hash-per-call."""
+
+    def __init__(self, config: PSSConfig) -> None:
+        self._config = config
+        self._rows = [
+            [0] * config.entries_per_feature
+            for _ in range(config.num_features)
+        ]
+        self._bias = 0
+
+    @property
+    def config(self) -> PSSConfig:
+        return self._config
+
+    @property
+    def bias(self) -> int:
+        return self._bias
+
+    def _check_features(self, features: Iterable[int]) -> list[int]:
+        feats = list(features)
+        if len(feats) != self._config.num_features:
+            raise FeatureError(
+                f"expected {self._config.num_features} features, "
+                f"got {len(feats)}"
+            )
+        for value in feats:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise FeatureError(
+                    f"features must be ints, got {value!r}"
+                )
+        return feats
+
+    def indices(self, features: Iterable[int]) -> list[int]:
+        feats = self._check_features(features)
+        entries = self._config.entries_per_feature
+        seed = self._config.seed
+        return [
+            table_index(i, value, entries, seed)
+            for i, value in enumerate(feats)
+        ]
+
+    def selected(self, features: Iterable[int]) -> list[int]:
+        return [
+            self._rows[row][col]
+            for row, col in enumerate(self.indices(features))
+        ]
+
+    def dot(self, features: Iterable[int]) -> int:
+        return self._bias + sum(self.selected(features))
+
+    def adjust(self, features: Iterable[int], delta: int) -> None:
+        lo, hi = self._config.weight_min, self._config.weight_max
+        for row, col in enumerate(self.indices(features)):
+            self._rows[row][col] = saturate(
+                self._rows[row][col] + delta, lo, hi
+            )
+        self._bias = saturate(self._bias + delta, lo, hi)
+
+    def reset_entry(self, features: Iterable[int]) -> None:
+        for row, col in enumerate(self.indices(features)):
+            self._rows[row][col] = 0
+
+    def reset_all(self) -> None:
+        for row in self._rows:
+            for col in range(len(row)):
+                row[col] = 0
+        self._bias = 0
+
+    def nonzero_count(self) -> int:
+        count = 1 if self._bias else 0
+        for row in self._rows:
+            count += sum(1 for w in row if w)
+        return count
+
+    def iter_weights(self):
+        for row in self._rows:
+            yield from row
+        yield self._bias
+
+    def to_state(self) -> dict:
+        return {
+            "rows": [list(row) for row in self._rows],
+            "bias": self._bias,
+        }
+
+    def load_state(self, state: dict) -> None:
+        rows = state["rows"]
+        if len(rows) != len(self._rows) or any(
+            len(row) != self._config.entries_per_feature for row in rows
+        ):
+            raise FeatureError("snapshot shape does not match configuration")
+        lo, hi = self._config.weight_min, self._config.weight_max
+        self._rows = [
+            [saturate(int(w), lo, hi) for w in row] for row in rows
+        ]
+        self._bias = saturate(int(state["bias"]), lo, hi)
+
+
+class ReferencePerceptron:
+    """The seed repo's HashedPerceptron: score() re-hashes inside update."""
+
+    def __init__(self, config: PSSConfig) -> None:
+        self.config = config
+        self._weights = ReferenceWeightMatrix(config)
+
+    @property
+    def weights(self) -> ReferenceWeightMatrix:
+        return self._weights
+
+    def score(self, features: Sequence[int]) -> int:
+        return self._weights.dot(features)
+
+    def predict(self, features: Sequence[int]) -> int:
+        return self.score(features)
+
+    def decide(self, features: Sequence[int]) -> bool:
+        return self.score(features) >= self.config.threshold
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        score = self.score(features)
+        agreed = (score >= self.config.threshold) == direction
+        if agreed and abs(score) > self.config.effective_margin:
+            return
+        self._weights.adjust(features, 1 if direction else -1)
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None:
+        if reset_all:
+            self._weights.reset_all()
+        else:
+            self._weights.reset_entry(features)
+
+    def to_state(self) -> dict:
+        return {"kind": "perceptron", "weights": self._weights.to_state()}
+
+    def load_state(self, state: dict) -> None:
+        self._weights.load_state(state["weights"])

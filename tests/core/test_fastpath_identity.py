@@ -1,0 +1,182 @@
+"""Property tests: the accelerated hot path is bit-identical to the
+reference pure-Python implementation.
+
+Three layers are compared against ``tests/core/reference_impl.py``:
+
+* :class:`repro.core.weights.WeightMatrix` (flat array + salt table +
+  LRU index cache) vs the list-of-lists reference matrix;
+* :class:`repro.core.perceptron.HashedPerceptron` (single-pass
+  predict-and-select update) vs the re-hashing reference perceptron;
+* the full service stack through a vDSO client (generation-keyed score
+  cache) vs direct reference evaluation.
+
+Identity means: every score equal, trained weights equal, snapshots
+round-trip equal, across randomized interleavings of the paper's three
+calls.  Vectors are drawn from a small pool so cache hits actually occur
+(a cache that is never hit proves nothing).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PredictionService, PSSConfig
+from repro.core.perceptron import HashedPerceptron
+from repro.core.weights import WeightMatrix
+
+from tests.core.reference_impl import (
+    ReferencePerceptron,
+    ReferenceWeightMatrix,
+)
+
+
+def configs():
+    return st.builds(
+        PSSConfig,
+        num_features=st.integers(1, 4),
+        entries_per_feature=st.sampled_from([1, 2, 16, 64]),
+        weight_bits=st.integers(2, 10),
+        threshold=st.integers(-2, 2),
+        training_margin=st.one_of(st.none(), st.integers(0, 20)),
+        seed=st.integers(0, 3),
+    )
+
+
+def vector_pools(config_strategy=None):
+    """A config plus a small pool of feature vectors sized to it."""
+    return (config_strategy or configs()).flatmap(
+        lambda config: st.tuples(
+            st.just(config),
+            st.lists(
+                st.lists(
+                    st.integers(-1_000_000, 1_000_000),
+                    min_size=config.num_features,
+                    max_size=config.num_features,
+                ).map(tuple),
+                min_size=1, max_size=6, unique=True,
+            ),
+        )
+    )
+
+
+def ops(n_vectors: int):
+    """Randomized op stream indexing into the vector pool."""
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["predict", "update", "reset", "reset_all"]),
+            st.integers(0, n_vectors - 1),
+            st.booleans(),
+        ),
+        max_size=60,
+    )
+
+
+class TestWeightMatrixIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_dot_adjust_reset_identical(self, data):
+        config, pool = data.draw(vector_pools())
+        stream = data.draw(ops(len(pool)))
+        fast = WeightMatrix(config)
+        reference = ReferenceWeightMatrix(config)
+        for op, vec_index, flag in stream:
+            vector = pool[vec_index]
+            if op == "predict":
+                assert fast.dot(vector) == reference.dot(vector)
+                assert fast.selected(vector) == reference.selected(vector)
+                assert fast.indices(vector) == reference.indices(vector)
+            elif op == "update":
+                delta = 1 if flag else -1
+                fast.adjust(vector, delta)
+                reference.adjust(vector, delta)
+            elif op == "reset":
+                fast.reset_entry(vector)
+                reference.reset_entry(vector)
+            else:
+                fast.reset_all()
+                reference.reset_all()
+        assert list(fast.iter_weights()) == list(reference.iter_weights())
+        assert fast.to_state() == reference.to_state()
+        assert fast.nonzero_count() == reference.nonzero_count()
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_snapshot_round_trip_identical(self, data):
+        config, pool = data.draw(vector_pools())
+        deltas = data.draw(st.lists(
+            st.tuples(st.integers(0, len(pool) - 1),
+                      st.sampled_from([1, -1])),
+            max_size=30,
+        ))
+        fast = WeightMatrix(config)
+        reference = ReferenceWeightMatrix(config)
+        for vec_index, delta in deltas:
+            fast.adjust(pool[vec_index], delta)
+            reference.adjust(pool[vec_index], delta)
+        # Cross-restore: each implementation loads the *other's* snapshot.
+        fast_restored = WeightMatrix(config)
+        fast_restored.load_state(reference.to_state())
+        reference_restored = ReferenceWeightMatrix(config)
+        reference_restored.load_state(fast.to_state())
+        assert list(fast_restored.iter_weights()) \
+            == list(reference_restored.iter_weights())
+        assert fast_restored.to_state() == fast.to_state()
+
+
+class TestPerceptronIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_train_and_score_identical(self, data):
+        config, pool = data.draw(vector_pools())
+        stream = data.draw(ops(len(pool)))
+        fast = HashedPerceptron(config)
+        reference = ReferencePerceptron(config)
+        for op, vec_index, flag in stream:
+            vector = pool[vec_index]
+            if op == "predict":
+                assert fast.predict(vector) == reference.predict(vector)
+                assert fast.decide(vector) == reference.decide(vector)
+            elif op == "update":
+                fast.update(vector, flag)
+                reference.update(vector, flag)
+            else:
+                fast.reset(vector, reset_all=(op == "reset_all"))
+                reference.reset(vector, reset_all=(op == "reset_all"))
+        assert fast.to_state() == reference.to_state()
+
+
+class TestServiceStackIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_vdso_client_identical_to_reference(self, data):
+        """End to end: vDSO client (score cache on) vs the reference.
+
+        ``batch_size=1`` delivers every update immediately, so the
+        reference model sees feedback at the same points the service
+        does and scores stay comparable call by call.
+        """
+        config, pool = data.draw(vector_pools())
+        stream = data.draw(ops(len(pool)))
+        service = PredictionService()
+        client = service.connect("identity", config=config,
+                                 transport="vdso", batch_size=1)
+        reference = ReferencePerceptron(config)
+        for op, vec_index, flag in stream:
+            vector = pool[vec_index]
+            if op == "predict":
+                assert client.predict(list(vector)) \
+                    == reference.predict(vector)
+            elif op == "update":
+                client.update(list(vector), flag)
+                reference.update(vector, flag)
+            else:
+                client.reset(list(vector), reset_all=(op == "reset_all"))
+                reference.reset(vector, reset_all=(op == "reset_all"))
+        domain = service.domain("identity")
+        assert domain.model.to_state() == reference.to_state()
+        # The cache served hits (when the stream repeated a vector with
+        # weights unchanged) and every served score matched - but stats
+        # must count cached predictions as predictions all the same.
+        predictions = sum(1 for op, _, _ in stream if op == "predict")
+        assert domain.stats.predictions == predictions
+        assert domain.stats.cached_predictions \
+            == client.latency.cache_hits

@@ -188,3 +188,72 @@ class TestAlternativeModels:
         s = PredictionService()
         with pytest.raises(ModelError):
             s.create_domain("d", model="oracle")
+
+
+class TestWeightGeneration:
+    def test_starts_at_zero_and_bumps_on_mutation(self):
+        s = PredictionService()
+        s.create_domain("d", config=PSSConfig(num_features=2))
+        domain = s.domain("d")
+        assert domain.generation == 0
+        s.predict("d", [1, 2])
+        assert domain.generation == 0  # reads never bump
+        s.update("d", [1, 2], True)
+        generation_after_update = domain.generation
+        assert generation_after_update > 0
+        s.reset("d", [1, 2], reset_all=True)
+        assert domain.generation > generation_after_update
+
+    def test_margin_skipped_update_does_not_bump(self):
+        # The perceptron discards feedback once confident past the
+        # margin; discarded feedback must not invalidate score caches.
+        config = PSSConfig(num_features=2, training_margin=0)
+        s = PredictionService()
+        s.create_domain("d", config=config)
+        domain = s.domain("d")
+        for _ in range(10):
+            s.update("d", [1, 2], True)
+        settled = domain.generation
+        s.update("d", [1, 2], True)  # agreed, |score| > margin: skipped
+        assert domain.generation == settled
+
+    def test_models_without_counter_bump_per_feedback(self):
+        s = PredictionService()
+        s.create_domain("d", config=PSSConfig(num_features=2),
+                        model="majority")
+        domain = s.domain("d")
+        s.update("d", [1, 2], True)
+        s.update("d", [1, 2], True)
+        assert domain.generation == 2
+
+    def test_handle_exposes_generation(self):
+        s = PredictionService()
+        handle = s.handle("d", config=PSSConfig(num_features=2))
+        assert handle.generation == 0
+        handle.update([1, 2], True)
+        assert handle.generation == s.domain("d").generation
+
+
+class TestFastPathReport:
+    def test_report_carries_cache_and_generation_counters(self):
+        s = PredictionService()
+        client = s.connect("d", config=PSSConfig(num_features=2),
+                           transport="vdso")
+        for _ in range(10):
+            client.predict([1, 2])
+        report = s.domain("d").report()
+        assert report.generation == 0
+        # One model evaluation; nine cache-served predictions.
+        assert report.stats.predictions == 10
+        assert report.stats.cached_predictions == 9
+        assert report.cached_prediction_rate == pytest.approx(0.9)
+        assert report.index_cache_misses == 1
+
+    def test_cached_predictions_survive_snapshot_round_trip(self):
+        import dataclasses
+        from repro.core.stats import PredictionStats
+        stats = PredictionStats()
+        stats.record_cached_prediction(5, 0)
+        restored = PredictionStats(**dataclasses.asdict(stats))
+        assert restored.cached_predictions == 1
+        assert restored.predictions == 1

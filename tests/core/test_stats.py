@@ -66,7 +66,29 @@ class TestLatencyAccount:
         assert set(snap) == {
             "vdso_ns", "syscall_ns", "total_ns", "vdso_calls",
             "syscalls", "update_records",
+            "cache_hits", "cache_misses", "cache_hit_rate", "ops",
         }
+
+    def test_op_aggregates(self):
+        account = LatencyAccount()
+        account.charge_op("predict", 4.0)
+        account.charge_op("predict", 6.0)
+        account.charge_op("flush", 100.0)
+        assert account.mean_op_ns("predict") == pytest.approx(5.0)
+        assert account.mean_op_ns("flush") == pytest.approx(100.0)
+        assert account.mean_op_ns("reset") == 0.0
+        snap = account.snapshot()
+        assert snap["ops"]["predict"] == {"calls": 2, "ns": 10.0}
+
+    def test_cache_counters(self):
+        account = LatencyAccount()
+        assert account.cache_hit_rate == 0.0
+        account.record_cache_hit()
+        account.record_cache_hit()
+        account.record_cache_miss()
+        assert account.cache_hits == 2
+        assert account.cache_misses == 1
+        assert account.cache_hit_rate == pytest.approx(2 / 3)
 
 
 class TestDomainReport:

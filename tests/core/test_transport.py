@@ -143,6 +143,92 @@ class TestBatchUpdateBuffer:
         assert buf.drain() == []
 
 
+class VersionedTarget(RecordingTarget):
+    """Recording target that also publishes a weight generation."""
+
+    def __init__(self):
+        super().__init__()
+        self.generation = 0
+        self.cached_recorded = []
+        self.score = 7
+
+    def predict(self, features):
+        self.calls.append(("predict", tuple(features)))
+        return self.score
+
+    def record_cached_prediction(self, score):
+        self.cached_recorded.append(score)
+
+    def mutate(self, score):
+        self.score = score
+        self.generation += 1
+
+
+class TestScoreCache:
+    def test_no_generation_means_no_caching(self):
+        target = RecordingTarget()
+        t = VdsoTransport(target, LAT)
+        for _ in range(3):
+            t.predict([1, 2])
+        assert len(target.calls) == 3
+        assert t.account.cache_hits == 0
+        assert t.account.cache_misses == 0
+
+    def test_repeat_predicts_hit_cache_without_crossing(self):
+        target = VersionedTarget()
+        t = VdsoTransport(target, LAT)
+        for _ in range(5):
+            assert t.predict([1, 2]) == 7
+        # Only the first predict reached the service.
+        assert len(target.calls) == 1
+        assert t.account.cache_hits == 4
+        assert t.account.cache_misses == 1
+        # Cached serves were still accounted to the domain.
+        assert target.cached_recorded == [7, 7, 7, 7]
+        # And every read still paid the vDSO cost.
+        assert t.account.vdso_calls == 5
+
+    def test_generation_bump_invalidates(self):
+        target = VersionedTarget()
+        t = VdsoTransport(target, LAT)
+        assert t.predict([1, 2]) == 7
+        assert t.predict([1, 2]) == 7
+        target.mutate(score=11)
+        assert t.predict([1, 2]) == 11  # fresh read after invalidation
+        assert t.predict([1, 2]) == 11  # cached again at the new gen
+        assert len(target.calls) == 2
+        assert t.account.cache_hits == 2
+        assert t.account.cache_misses == 2
+
+    def test_distinct_vectors_cached_independently(self):
+        target = VersionedTarget()
+        t = VdsoTransport(target, LAT)
+        t.predict([1, 2])
+        t.predict([3, 4])
+        t.predict([1, 2])
+        t.predict([3, 4])
+        assert len(target.calls) == 2
+        assert t.account.cache_hits == 2
+
+    def test_score_cache_is_bounded(self):
+        target = VersionedTarget()
+        t = VdsoTransport(target, LAT)
+        for i in range(VdsoTransport.SCORE_CACHE_ENTRIES + 10):
+            t.predict([i, i])
+        assert t.score_cache_size == VdsoTransport.SCORE_CACHE_ENTRIES
+
+    def test_op_aggregates_split_predict_and_flush(self):
+        target = VersionedTarget()
+        t = VdsoTransport(target, LAT, batch_size=2)
+        t.predict([1, 2])
+        t.update([1, 2], True)
+        t.update([1, 2], True)  # fills the batch -> flush
+        assert t.account.op_calls["predict"] == 1
+        assert t.account.mean_op_ns("predict") == pytest.approx(4.19)
+        assert t.account.op_calls["flush"] == 1
+        assert t.account.mean_op_ns("flush") == pytest.approx(68.0 + 2.0)
+
+
 class TestMakeTransport:
     def test_known_kinds(self):
         target = RecordingTarget()
