@@ -1,7 +1,8 @@
 """Command-line entry point: ``python -m repro <command>``.
 
 Dispatches to the experiment drivers and a few utility commands so the
-whole evaluation is reachable without writing Python.
+whole evaluation is reachable without writing Python.  Running with no
+command (or an unknown one) lists everything available.
 """
 
 from __future__ import annotations
@@ -26,6 +27,25 @@ EXPERIMENTS = {
                 "Prediction latency (vDSO vs syscall)"),
 }
 
+UTILITIES = {
+    "all": "run every experiment in sequence",
+    "models": "list the registered predictor models",
+}
+
+
+def list_commands(out=None) -> None:
+    """One line per available command, for discoverability."""
+    out = out if out is not None else sys.stdout
+    print("experiments:", file=out)
+    for name, (_main, title) in EXPERIMENTS.items():
+        print(f"  {name:<9}{title}", file=out)
+    print("utilities:", file=out)
+    for name, title in UTILITIES.items():
+        print(f"  {name:<9}{title}", file=out)
+    print("\nrun `python -m repro <command> --help` equivalents via the "
+          "flags below;\ncommon flags: --quick --report --trace PATH "
+          "--metrics", file=out)
+
 
 def cmd_models(_args: list[str]) -> int:
     from repro.core import registered_models
@@ -40,7 +60,7 @@ def cmd_all(args: list[str]) -> int:
     status = 0
     for name, (main, title) in EXPERIMENTS.items():
         print(f"\n=== {name}: {title} ===\n")
-        status |= main(args)
+        status |= main(list(args))
     return status
 
 
@@ -49,20 +69,43 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro",
         description=("Reproduction of 'A Prediction System Service' "
                      "(ASPLOS 2023)"),
+        epilog="run with no command to list the available experiments",
     )
-    choices = [*EXPERIMENTS, "all", "models"]
-    parser.add_argument("command", choices=choices,
-                        help="experiment or utility to run")
+    parser.add_argument("command", nargs="?",
+                        help="experiment or utility to run "
+                             "(omit to list them)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sweeps for a fast look")
     parser.add_argument("--report", action="store_true",
                         help="append per-domain fast-path effectiveness "
-                             "(cache hit rates, weight generations)")
+                             "(cache hit rates, weight generations) and "
+                             "resilience summaries")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome-trace (Perfetto-loadable) "
+                             "event timeline to PATH, plus a JSONL "
+                             "sibling")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect latency histograms and counters; "
+                             "print a metrics snapshot after the run")
     parsed = parser.parse_args(argv)
+
+    if parsed.command is None:
+        list_commands()
+        return 2
+    known = set(EXPERIMENTS) | set(UTILITIES)
+    if parsed.command not in known:
+        print(f"unknown command {parsed.command!r}; available commands:\n",
+              file=sys.stderr)
+        list_commands(out=sys.stderr)
+        return 2
 
     passthrough = ["--quick"] if parsed.quick else []
     if parsed.report:
         passthrough.append("--report")
+    if parsed.trace:
+        passthrough.extend(["--trace", parsed.trace])
+    if parsed.metrics:
+        passthrough.append("--metrics")
     if parsed.command == "models":
         return cmd_models(passthrough)
     if parsed.command == "all":

@@ -17,7 +17,13 @@ from repro.core import PredictionService
 from repro.htm import ComparisonRow, compare_policies
 from repro.htm.stamp import FIGURE2_ORDER, PROFILES
 from repro.bench.figures import bar_chart
-from repro.bench.tables import fastpath_table, format_table, pct
+from repro.bench.tables import (
+    fastpath_table,
+    format_table,
+    pct,
+    resilience_table,
+)
+from repro.obs import obs_from_args
 
 THREAD_COUNTS = (1, 2, 4, 8, 16)
 
@@ -47,15 +53,18 @@ class Figure2Result:
 
 def run_figure2(workloads=FIGURE2_ORDER,
                 thread_counts=THREAD_COUNTS,
-                seeds=(0, 1, 2)) -> Figure2Result:
+                seeds=(0, 1, 2),
+                tracer=None,
+                metrics=None) -> Figure2Result:
     """Compute every bar of Figure 2.
 
     A single PSS service persists across all runs of one workload (the
-    paper's system-service training persistence).
+    paper's system-service training persistence).  ``tracer`` and
+    ``metrics`` instrument every workload's service.
     """
     result = Figure2Result()
     for name in workloads:
-        service = PredictionService()
+        service = PredictionService(tracer=tracer, metrics=metrics)
         for threads in thread_counts:
             result.rows.append(compare_policies(
                 PROFILES[name], threads, seeds=seeds, service=service,
@@ -68,10 +77,13 @@ def run_figure2(workloads=FIGURE2_ORDER,
 
 def main(argv=None) -> int:
     args = argv if argv is not None else sys.argv[1:]
+    session = obs_from_args(args)
     quick = "--quick" in args
     result = run_figure2(
         thread_counts=(1, 4, 16) if quick else THREAD_COUNTS,
         seeds=(0,) if quick else (0, 1, 2),
+        tracer=session.tracer if session.tracer.enabled else None,
+        metrics=session.metrics,
     )
     print("Figure 2: HLE improvement over vanilla STAMP")
     print(format_table(
@@ -97,6 +109,14 @@ def main(argv=None) -> int:
         print()
         print("fast-path effectiveness (per workload):")
         print(fastpath_table(result.domain_reports))
+        print()
+        print("resilience (degraded-mode activity):")
+        print(resilience_table(result.domain_reports))
+    if session.active:
+        summary = session.finish()
+        if summary:
+            print()
+            print(summary)
     return 0
 
 

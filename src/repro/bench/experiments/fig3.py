@@ -5,15 +5,20 @@ Run with ``python -m repro.bench.experiments.fig3``.
 
 from __future__ import annotations
 
+import sys
+
 from repro.bench.tables import format_table, pct
 from repro.jit.runner import SuiteResult, run_polybench_suite
+from repro.obs import obs_from_args
 
 ITERATIONS = 20
 
 
-def run_figure3(iterations: int = ITERATIONS) -> SuiteResult:
+def run_figure3(iterations: int = ITERATIONS,
+                tracer=None, metrics=None) -> SuiteResult:
     """Every kernel's baseline-vs-PSS comparison at ``iterations``."""
-    return run_polybench_suite(iterations)
+    return run_polybench_suite(iterations, tracer=tracer,
+                               metrics=metrics)
 
 
 def print_suite(suite: SuiteResult, paper_avg: str) -> None:
@@ -32,10 +37,20 @@ def print_suite(suite: SuiteResult, paper_avg: str) -> None:
 
 
 def main(argv=None) -> int:
-    suite = run_figure3()
+    args = argv if argv is not None else sys.argv[1:]
+    session = obs_from_args(args)
+    suite = run_figure3(
+        tracer=session.tracer if session.tracer.enabled else None,
+        metrics=session.metrics,
+    )
     print(f"Figure 3: PolyBenchPython, first {suite.iterations} "
           f"iterations")
     print_suite(suite, paper_avg="+15.38%")
+    if session.active:
+        summary = session.finish()
+        if summary:
+            print()
+            print(summary)
     return 0
 
 

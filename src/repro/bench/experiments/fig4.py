@@ -5,21 +5,36 @@ Run with ``python -m repro.bench.experiments.fig4``.
 
 from __future__ import annotations
 
+import sys
+
 from repro.bench.experiments.fig3 import print_suite
 from repro.jit.runner import SuiteResult, run_polybench_suite
+from repro.obs import obs_from_args
 
 ITERATIONS = 50
 
 
-def run_figure4(iterations: int = ITERATIONS) -> SuiteResult:
-    return run_polybench_suite(iterations)
+def run_figure4(iterations: int = ITERATIONS,
+                tracer=None, metrics=None) -> SuiteResult:
+    return run_polybench_suite(iterations, tracer=tracer,
+                               metrics=metrics)
 
 
 def main(argv=None) -> int:
-    suite = run_figure4()
+    args = argv if argv is not None else sys.argv[1:]
+    session = obs_from_args(args)
+    suite = run_figure4(
+        tracer=session.tracer if session.tracer.enabled else None,
+        metrics=session.metrics,
+    )
     print(f"Figure 4: PolyBenchPython, first {suite.iterations} "
           f"iterations")
     print_suite(suite, paper_avg="+11.11%")
+    if session.active:
+        summary = session.finish()
+        if summary:
+            print()
+            print(summary)
     return 0
 
 

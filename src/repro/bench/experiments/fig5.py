@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.bench.tables import format_table, pct, series_summary
 from repro.jit.macro import MACROBENCHMARKS
 from repro.jit.runner import MacroComparison, run_macro_benchmark
+from repro.obs import obs_from_args
 
 
 @dataclass
@@ -30,21 +31,28 @@ class Figure5Result:
             / len(self.comparisons)
 
 
-def run_figure5(scale: float = 1.0, runs: int = 1) -> Figure5Result:
+def run_figure5(scale: float = 1.0, runs: int = 1,
+                tracer=None, metrics=None) -> Figure5Result:
     """All four subplots; ``scale`` shrinks iteration counts."""
     result = Figure5Result()
     for name, (factory, iterations) in MACROBENCHMARKS.items():
         count = max(50, int(iterations * scale))
         result.comparisons.append(
-            run_macro_benchmark(factory, count, runs=runs)
+            run_macro_benchmark(factory, count, runs=runs,
+                                tracer=tracer, metrics=metrics)
         )
     return result
 
 
 def main(argv=None) -> int:
     args = argv if argv is not None else sys.argv[1:]
+    session = obs_from_args(args)
     scale = 0.2 if "--quick" in args else 1.0
-    result = run_figure5(scale=scale)
+    result = run_figure5(
+        scale=scale,
+        tracer=session.tracer if session.tracer.enabled else None,
+        metrics=session.metrics,
+    )
     print("Figure 5: macrobenchmarks (cumulative seconds; improvements "
           "vs baseline)")
     print(format_table(
@@ -63,6 +71,11 @@ def main(argv=None) -> int:
         print(f"  PSS         {series_summary(c.pss.series_seconds())}")
         print(f"  PSS-syscall "
               f"{series_summary(c.pss_syscall.series_seconds())}")
+    if session.active:
+        summary = session.finish()
+        if summary:
+            print()
+            print(summary)
     return 0
 
 

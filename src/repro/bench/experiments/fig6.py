@@ -13,9 +13,15 @@ import sys
 from dataclasses import dataclass, field
 
 from repro.bench.figures import bar_chart
-from repro.bench.tables import fastpath_table, format_table, pct
+from repro.bench.tables import (
+    fastpath_table,
+    format_table,
+    pct,
+    resilience_table,
+)
 from repro.core import PredictionService
 from repro.mm import FIGURE6_WORKERS, Figure6Column, compare_throttles
+from repro.obs import obs_from_args
 
 
 @dataclass
@@ -37,14 +43,16 @@ class Figure6Result:
 
 def run_figure6(workers=FIGURE6_WORKERS, seed: int = 0,
                 pss_runs: int = 4,
-                duration_ns: float | None = None) -> Figure6Result:
+                duration_ns: float | None = None,
+                tracer=None,
+                metrics=None) -> Figure6Result:
     result = Figure6Result()
     for count in workers:
         kwargs = {} if duration_ns is None else \
             {"duration_ns": duration_ns}
         # One service per column, as compare_throttles would create
         # internally - owned here so --report can read its domains.
-        service = PredictionService()
+        service = PredictionService(tracer=tracer, metrics=metrics)
         result.columns.append(
             compare_throttles(count, seed=seed, pss_runs=pss_runs,
                               service=service, **kwargs)
@@ -57,10 +65,13 @@ def run_figure6(workers=FIGURE6_WORKERS, seed: int = 0,
 
 def main(argv=None) -> int:
     args = argv if argv is not None else sys.argv[1:]
+    session = obs_from_args(args)
     quick = "--quick" in args
     result = run_figure6(
         workers=(4, 12, 30, 64) if quick else FIGURE6_WORKERS,
         duration_ns=150_000_000.0 if quick else None,
+        tracer=session.tracer if session.tracer.enabled else None,
+        metrics=session.metrics,
     )
     print("Figure 6: stutterp latency improvement over vanilla")
     print(format_table(
@@ -84,6 +95,14 @@ def main(argv=None) -> int:
         print()
         print("fast-path effectiveness (per worker count):")
         print(fastpath_table(result.domain_reports))
+        print()
+        print("resilience (degraded-mode activity):")
+        print(resilience_table(result.domain_reports))
+    if session.active:
+        summary = session.finish()
+        if summary:
+            print()
+            print(summary)
     return 0
 
 

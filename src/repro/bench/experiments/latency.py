@@ -14,10 +14,13 @@ Run with ``python -m repro.bench.experiments.latency``.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
 
+from repro.bench.tables import boundary_table
 from repro.core import PredictionService, PSSConfig
+from repro.obs import obs_from_args
 
 CALLS = 20_000
 
@@ -28,6 +31,8 @@ class LatencyResult:
     simulated_syscall_ns: float
     wall_vdso_ns: float
     wall_syscall_ns: float
+    #: (label, LatencyAccount) per client, for the boundary table
+    accounts: list = None
 
     @property
     def simulated_speedup(self) -> float:
@@ -43,8 +48,9 @@ def _wall_time_per_predict(client, calls: int) -> float:
     return (time.perf_counter_ns() - start) / calls
 
 
-def run_latency(calls: int = CALLS) -> LatencyResult:
-    service = PredictionService()
+def run_latency(calls: int = CALLS,
+                tracer=None, metrics=None) -> LatencyResult:
+    service = PredictionService(tracer=tracer, metrics=metrics)
     config = PSSConfig(num_features=2)
     vdso = service.connect("lat-vdso", config=config, transport="vdso")
     syscall = service.connect("lat-sys", config=config,
@@ -58,11 +64,17 @@ def run_latency(calls: int = CALLS) -> LatencyResult:
         simulated_syscall_ns=syscall.latency.mean_syscall_ns,
         wall_vdso_ns=wall_vdso,
         wall_syscall_ns=wall_syscall,
+        accounts=[("vdso", vdso.latency), ("syscall", syscall.latency)],
     )
 
 
 def main(argv=None) -> int:
-    result = run_latency()
+    args = argv if argv is not None else sys.argv[1:]
+    session = obs_from_args(args)
+    result = run_latency(
+        tracer=session.tracer if session.tracer.enabled else None,
+        metrics=session.metrics,
+    )
     print("Prediction latency (paper Section 3.3)")
     print(f"  simulated vDSO predict : "
           f"{result.simulated_vdso_ns:7.2f} ns  (paper: 4.19 ns)")
@@ -73,6 +85,13 @@ def main(argv=None) -> int:
     print(f"  wall-clock vDSO path   : {result.wall_vdso_ns:7.0f} ns")
     print(f"  wall-clock syscall path: "
           f"{result.wall_syscall_ns:7.0f} ns")
+    print("\nboundary-crossing accounts:")
+    print(boundary_table(result.accounts))
+    if session.active:
+        summary = session.finish()
+        if summary:
+            print()
+            print(summary)
     return 0
 
 

@@ -38,11 +38,27 @@ def fastpath_table(labeled_reports) -> str:
     row: prediction volume, how many predictions client-side score caches
     absorbed, the model-side index-cache hit rate, and the final weight
     generation - the ``--report`` view of how much work the caches saved.
+
+    Reports carrying latency-histogram percentiles (a service run with a
+    metrics registry attached) get extra vDSO/syscall p50/p99 columns.
     """
+    labeled = list(labeled_reports)
+    with_percentiles = any(
+        report.latency_percentiles for _label, report in labeled
+    )
+
+    def percentile_cells(report) -> list[str]:
+        cells = []
+        for path in ("vdso_read_ns", "syscall_ns"):
+            snap = report.latency_percentiles.get(path)
+            for key in ("p50", "p99"):
+                cells.append(f"{snap[key]:.2f}" if snap else "-")
+        return cells
+
     rows = []
-    for label, report in labeled_reports:
+    for label, report in labeled:
         stats = report.stats
-        rows.append([
+        row = [
             label,
             report.name,
             stats.predictions,
@@ -50,10 +66,45 @@ def fastpath_table(labeled_reports) -> str:
             pct_plain(report.cached_prediction_rate),
             pct_plain(report.index_cache_hit_rate),
             report.generation,
+        ]
+        if with_percentiles:
+            row.extend(percentile_cells(report))
+        rows.append(row)
+    headers = ["scenario", "domain", "predicts", "cached",
+               "cached%", "idx-hit%", "weight-gen"]
+    if with_percentiles:
+        headers.extend(["vdso-p50", "vdso-p99", "sys-p50", "sys-p99"])
+    return format_table(headers, rows)
+
+
+def resilience_table(labeled_reports) -> str:
+    """Degraded-mode summary from labeled domain reports.
+
+    Rows only for domains that had a resilient client attached (reports
+    whose ``resilience`` block is populated); returns a placeholder line
+    when none did, so ``--report`` output stays stable either way.
+    """
+    rows = []
+    for label, report in labeled_reports:
+        stats = report.resilience
+        if stats is None:
+            continue
+        rows.append([
+            label,
+            report.name,
+            stats.predictions,
+            stats.fallback_predictions,
+            pct_plain(stats.degraded_fraction),
+            stats.retries,
+            stats.dropped_updates,
+            stats.breaker_opens,
+            stats.breaker_closes,
         ])
+    if not rows:
+        return "<no resilient clients attached>"
     return format_table(
-        ["scenario", "domain", "predicts", "cached",
-         "cached%", "idx-hit%", "weight-gen"],
+        ["scenario", "domain", "predicts", "fallbacks", "degraded%",
+         "retries", "drop-upd", "brk-open", "brk-close"],
         rows,
     )
 
@@ -61,6 +112,49 @@ def fastpath_table(labeled_reports) -> str:
 def pct_plain(value: float) -> str:
     """Format a ratio as an unsigned percentage."""
     return f"{value:.1%}"
+
+
+def boundary_table(labeled_accounts) -> str:
+    """Boundary-crossing cost table from labeled LatencyAccounts.
+
+    Accounts sharing a label are folded together with
+    :meth:`~repro.core.stats.LatencyAccount.merge`, so multi-client runs
+    report one row per label; a final ``all`` row merges everything when
+    there is more than one label.
+    """
+    from repro.core.stats import LatencyAccount
+
+    merged: dict[str, LatencyAccount] = {}
+    order: list[str] = []
+    for label, account in labeled_accounts:
+        if label not in merged:
+            merged[label] = LatencyAccount()
+            order.append(label)
+        merged[label].merge(account)
+
+    def row(label: str, acct: LatencyAccount) -> list[object]:
+        return [
+            label,
+            acct.vdso_calls,
+            f"{acct.mean_vdso_ns:.2f}",
+            acct.syscalls,
+            f"{acct.mean_syscall_ns:.2f}",
+            pct_plain(acct.cache_hit_rate),
+            f"{acct.total_ns / 1e3:.1f}",
+        ]
+
+    total = LatencyAccount()
+    rows = []
+    for label in order:
+        total.merge(merged[label])
+        rows.append(row(label, merged[label]))
+    if len(order) > 1:
+        rows.append(row("all", total))
+    return format_table(
+        ["client", "vdso-calls", "vdso-mean", "syscalls", "sys-mean",
+         "cache-hit%", "total-us"],
+        rows,
+    )
 
 
 def series_summary(series: Sequence[float], points: int = 8) -> str:

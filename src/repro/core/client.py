@@ -25,6 +25,7 @@ from repro.core.features import canonical_features
 from repro.core.service import DomainHandle
 from repro.core.stats import LatencyAccount, ResilienceStats
 from repro.core.transport import Transport, make_transport
+from repro.obs.trace import NULL_TRACER
 
 #: a static fallback: a fixed score, or a pure function of the features
 Fallback = Union[int, Callable[[Sequence[int]], int]]
@@ -106,6 +107,14 @@ class PSSClient:
         """Attach a :class:`FaultInjector` to this client's transport."""
         self._transport.attach_injector(injector)
 
+    def attach_observability(self, tracer=None, metrics=None) -> None:
+        """Wire a :class:`repro.obs.Tracer` and/or
+        :class:`repro.obs.MetricsRegistry` through this client's
+        transport (and, on resilient clients, the degraded-mode
+        machinery)."""
+        self._transport.attach_observability(tracer=tracer,
+                                             metrics=metrics)
+
     def __enter__(self) -> "PSSClient":
         return self
 
@@ -136,6 +145,16 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._cooldown_left = 0
         self._stats = stats or ResilienceStats()
+        # Observability: set by ResilientClient.attach_observability so
+        # state transitions land on the owning client's trace track.
+        self.tracer = NULL_TRACER
+        self.trace_domain = ""
+        self.trace_clock = None
+
+    def _trace_transition(self, kind: str) -> None:
+        ts = self.trace_clock() if self.trace_clock is not None else None
+        self.tracer.record(kind, domain=self.trace_domain,
+                           transport="breaker", ts_ns=ts)
 
     def allow(self) -> bool:
         """Whether the next operation may touch the transport."""
@@ -151,6 +170,8 @@ class CircuitBreaker:
         if self.state != self.CLOSED:
             self.state = self.CLOSED
             self._stats.breaker_closes += 1
+            if self.tracer.enabled:
+                self._trace_transition("breaker_close")
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1
@@ -160,6 +181,8 @@ class CircuitBreaker:
             self._cooldown_left = self.cooldown
             self._consecutive_failures = 0
             self._stats.breaker_opens += 1
+            if self.tracer.enabled:
+                self._trace_transition("breaker_open")
 
 
 class ResilientClient(PSSClient):
@@ -186,10 +209,14 @@ class ResilientClient(PSSClient):
                  latency: LatencyModel | None = None,
                  batch_size: int = 32,
                  resilience: ResilienceConfig | None = None,
-                 fallback: Fallback = 0) -> None:
+                 fallback: Fallback = 0,
+                 stats: ResilienceStats | None = None) -> None:
         super().__init__(handle, transport_kind, latency, batch_size)
         self.resilience = resilience or ResilienceConfig()
-        self.stats = ResilienceStats()
+        # ``stats`` may be shared (PredictionService.connect hands every
+        # resilient client of a domain the same block, so run reports
+        # can surface a per-domain aggregate).
+        self.stats = stats if stats is not None else ResilienceStats()
         self._breaker = CircuitBreaker(
             self.resilience.breaker_threshold,
             self.resilience.breaker_cooldown,
@@ -197,6 +224,22 @@ class ResilientClient(PSSClient):
         )
         self._fallback = fallback
         self._last_was_fallback = False
+        self._tracer = NULL_TRACER
+
+    def attach_observability(self, tracer=None, metrics=None) -> None:
+        super().attach_observability(tracer=tracer, metrics=metrics)
+        if tracer is not None:
+            self._tracer = tracer
+            self._breaker.tracer = tracer
+            self._breaker.trace_domain = self.domain_name
+            self._breaker.trace_clock = \
+                lambda: self._transport.account.total_ns
+
+    def _trace_client(self, kind: str, detail: dict | None = None) -> None:
+        self._tracer.record(
+            kind, domain=self.domain_name, transport="client",
+            ts_ns=self._transport.account.total_ns, detail=detail,
+        )
 
     # -- introspection -------------------------------------------------------
 
@@ -227,6 +270,9 @@ class ResilientClient(PSSClient):
         if not self._breaker.allow():
             self._last_was_fallback = True
             self.stats.fallback_predictions += 1
+            if self._tracer.enabled:
+                self._trace_client("fallback",
+                                   detail={"reason": "breaker_open"})
             return self.fallback_score(features)
         try:
             score = self._attempt(
@@ -237,6 +283,9 @@ class ResilientClient(PSSClient):
             self._breaker.record_failure()
             self._last_was_fallback = True
             self.stats.fallback_predictions += 1
+            if self._tracer.enabled:
+                self._trace_client("fallback",
+                                   detail={"reason": "transport_fault"})
             return self.fallback_score(features)
         self._breaker.record_success()
         return score
@@ -320,7 +369,12 @@ class ResilientClient(PSSClient):
                 if attempt + 1 >= config.max_attempts:
                     raise
                 self.stats.retries += 1
-                self.stats.backoff_ns += (
-                    config.backoff_base_ns
-                    * config.backoff_multiplier ** attempt
-                )
+                backoff = (config.backoff_base_ns
+                           * config.backoff_multiplier ** attempt)
+                self.stats.backoff_ns += backoff
+                if self._tracer.enabled:
+                    self._trace_client("retry", detail={
+                        "attempt": attempt + 1,
+                        "errno": fault.errno_name,
+                        "backoff_ns": backoff,
+                    })

@@ -34,6 +34,7 @@ import random
 from dataclasses import dataclass, fields
 
 from repro.core.errors import ConfigError, TransportFault
+from repro.obs.trace import NULL_TRACER
 
 #: simulated errnos a failed crossing reports, chosen per-fault
 SYSCALL_ERRNOS = ("EAGAIN", "EINTR")
@@ -128,6 +129,15 @@ class FaultInjector:
         self.plan = plan
         self.stats = FaultStats()
         self._rng = random.Random(f"pss-faults-{plan.seed}")
+        #: structured event tracer (attached by the transport or caller);
+        #: records a "fault_injected" event at each injection decision.
+        #: Tracing never touches ``_rng``, so the fault sequence is
+        #: identical with or without observability attached.
+        self.tracer = NULL_TRACER
+
+    def _trace_injection(self, mode: str) -> None:
+        self.tracer.record("fault_injected", transport="injector",
+                           detail={"mode": mode})
 
     def syscall_fault(self) -> TransportFault | None:
         """The fault for one syscall crossing, or None when it succeeds."""
@@ -135,6 +145,8 @@ class FaultInjector:
         if rate <= 0.0 or self._rng.random() >= rate:
             return None
         self.stats.syscall_faults += 1
+        if self.tracer.enabled:
+            self._trace_injection("syscall_failure")
         return TransportFault(self._rng.choice(SYSCALL_ERRNOS))
 
     def stale_read(self) -> bool:
@@ -143,6 +155,8 @@ class FaultInjector:
         if rate <= 0.0 or self._rng.random() >= rate:
             return False
         self.stats.stale_reads += 1
+        if self.tracer.enabled:
+            self._trace_injection("stale_read")
         return True
 
     def flush_outcome(self, records: int) -> int:
@@ -158,9 +172,13 @@ class FaultInjector:
         roll = self._rng.random()
         if roll < drop:
             self.stats.dropped_flushes += 1
+            if self.tracer.enabled:
+                self._trace_injection("flush_drop")
             return 0
         if roll < drop + partial:
             self.stats.partial_flushes += 1
+            if self.tracer.enabled:
+                self._trace_injection("partial_flush")
             return self._rng.randrange(records)
         return records
 
@@ -170,6 +188,8 @@ class FaultInjector:
         if rate <= 0.0 or self._rng.random() >= rate:
             return False
         self.stats.corrupted_snapshots += 1
+        if self.tracer.enabled:
+            self._trace_injection("snapshot_corruption")
         return True
 
     def corrupt_text(self, text: str) -> str:

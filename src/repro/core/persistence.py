@@ -37,6 +37,7 @@ from repro.core.errors import PersistenceError, PSSError
 from repro.core.models import create_model
 from repro.core.service import Domain, PredictionService
 from repro.core.stats import PredictionStats
+from repro.obs.trace import NULL_TRACER
 
 #: bumped whenever the snapshot layout changes incompatibly
 SNAPSHOT_VERSION = 1
@@ -185,7 +186,8 @@ class CheckpointManager:
     def __init__(self, service: PredictionService, path: str | Path,
                  interval: int = 256,
                  include_stats: bool = True,
-                 injector=None) -> None:
+                 injector=None,
+                 tracer=None) -> None:
         if interval < 1:
             raise PersistenceError(
                 f"checkpoint interval must be positive, got {interval}"
@@ -195,6 +197,11 @@ class CheckpointManager:
         self.interval = interval
         self.include_stats = include_stats
         self.injector = injector
+        # Default to the owning service's tracer so checkpoint events
+        # appear on the same timeline as the traffic that caused them.
+        self.tracer = tracer if tracer is not None else getattr(
+            service, "tracer", NULL_TRACER
+        )
         self.ticks = 0
         self.checkpoints_written = 0
         self.corrupt_detected = 0
@@ -218,7 +225,9 @@ class CheckpointManager:
             self.service, include_stats=self.include_stats
         )
         text = json.dumps(snapshot, indent=1)
-        if self.injector is not None and self.injector.corrupt_snapshot():
+        corrupted = (self.injector is not None
+                     and self.injector.corrupt_snapshot())
+        if corrupted:
             text = self.injector.corrupt_text(text)
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         try:
@@ -227,6 +236,12 @@ class CheckpointManager:
         except OSError as exc:
             raise PersistenceError(f"cannot write checkpoint: {exc}") from exc
         self.checkpoints_written += 1
+        if self.tracer.enabled:
+            self.tracer.record(
+                "checkpoint_save", transport="checkpoint",
+                detail={"bytes": len(text), "corrupted": corrupted,
+                        "domains": len(snapshot["domains"])},
+            )
 
     def recover(self) -> bool:
         """Restore the last checkpoint if one exists and validates.
@@ -243,5 +258,15 @@ class CheckpointManager:
         except PersistenceError as exc:
             self.corrupt_detected += 1
             self.last_error = str(exc)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    "checkpoint_restore", transport="checkpoint",
+                    detail={"ok": False, "error": str(exc)},
+                )
             return False
+        if self.tracer.enabled:
+            self.tracer.record(
+                "checkpoint_restore", transport="checkpoint",
+                detail={"ok": True},
+            )
         return True

@@ -31,7 +31,12 @@ from repro.core.models import (
     ensure_builtin_models,
 )
 from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
-from repro.core.stats import DomainReport, PredictionStats
+from repro.core.stats import (
+    DomainReport,
+    PredictionStats,
+    ResilienceStats,
+)
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass
@@ -149,12 +154,25 @@ class DomainHandle:
 
 
 class PredictionService:
-    """Container and dispatcher for prediction domains."""
+    """Container and dispatcher for prediction domains.
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    Passing a :class:`repro.obs.Tracer` and/or
+    :class:`repro.obs.MetricsRegistry` turns on white-box observability:
+    every client opened through :meth:`connect` is wired to them, and
+    :meth:`reports` aggregates latency histogram percentiles and
+    resilient-client stats per domain.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 tracer=None, metrics=None) -> None:
         ensure_builtin_models()
         self.config = config or ServiceConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self._domains: dict[str, Domain] = {}
+        #: per-domain aggregate resilient-client stats (shared by every
+        #: resilient client connect() opens on that domain)
+        self._resilience_stats: dict[str, ResilienceStats] = {}
 
     # -- domain management -------------------------------------------------
 
@@ -255,6 +273,9 @@ class PredictionService:
         effective_batch = (batch_size if batch_size is not None
                            else domain.config.update_batch_size)
         if resilience is not None or fallback is not None:
+            shared_stats = self._resilience_stats.setdefault(
+                name, ResilienceStats()
+            )
             client = ResilientClient(
                 handle,
                 transport_kind=transport,
@@ -262,6 +283,7 @@ class PredictionService:
                 batch_size=effective_batch,
                 resilience=resilience,
                 fallback=0 if fallback is None else fallback,
+                stats=shared_stats,
             )
         else:
             client = PSSClient(
@@ -269,6 +291,11 @@ class PredictionService:
                 transport_kind=transport,
                 latency=self.config.latency,
                 batch_size=effective_batch,
+            )
+        if self.tracer.enabled or self.metrics is not None:
+            client.attach_observability(
+                tracer=self.tracer if self.tracer.enabled else None,
+                metrics=self.metrics,
             )
         if fault_plan is not None:
             injector = (fault_plan if isinstance(fault_plan, FaultInjector)
@@ -297,7 +324,29 @@ class PredictionService:
     # -- introspection -------------------------------------------------------
 
     def reports(self) -> list[DomainReport]:
-        """Per-domain activity reports, sorted by domain name."""
-        return [
-            self._domains[name].report() for name in self.domain_names()
-        ]
+        """Per-domain activity reports, sorted by domain name.
+
+        When the service carries a metrics registry, each report also
+        gets latency-histogram percentile summaries (vDSO reads and
+        syscalls, merged across every transport that served the domain);
+        domains that ever had a resilient client attached additionally
+        carry the aggregated :class:`ResilienceStats`.
+        """
+        reports = []
+        for name in self.domain_names():
+            report = self._domains[name].report()
+            resilience = self._resilience_stats.get(name)
+            if resilience is not None and resilience.any_activity:
+                report.resilience = resilience
+            if self.metrics is not None:
+                for path, metric in (("vdso_read_ns",
+                                      "pss_vdso_read_ns"),
+                                     ("syscall_ns", "pss_syscall_ns")):
+                    merged = self.metrics.merged_histogram(
+                        metric, domain=name
+                    )
+                    if merged.count:
+                        report.latency_percentiles[path] = \
+                            merged.snapshot()
+            reports.append(report)
+        return reports

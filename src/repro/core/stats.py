@@ -77,7 +77,15 @@ class PredictionStats:
 
 @dataclass
 class LatencyAccount:
-    """Simulated nanoseconds charged per boundary-crossing category."""
+    """Simulated nanoseconds charged per boundary-crossing category.
+
+    Means and counts are always maintained; attaching a
+    :class:`repro.obs.metrics.MetricsRegistry` via :meth:`attach_metrics`
+    additionally feeds every charge into log-bucketed latency histograms
+    (p50/p90/p99/max) - the distribution view the mean-only seed
+    accounting could not express.  Unattached accounts pay one ``None``
+    check per charge.
+    """
 
     vdso_ns: float = 0.0
     syscall_ns: float = 0.0
@@ -94,14 +102,49 @@ class LatencyAccount:
     #: call counts, broken down by operation kind
     op_calls: dict[str, int] = field(default_factory=dict)
 
+    # Metrics attachment state (class attributes, not dataclass fields:
+    # an unattached account stays a plain counter block).
+    _hist_vdso = None
+    _hist_syscall = None
+    _metrics = None
+    _metric_labels = None
+
+    def attach_metrics(self, registry, domain: str = "",
+                       transport: str = "") -> None:
+        """Mirror every future charge into ``registry`` histograms.
+
+        Creates ``pss_vdso_read_ns`` and ``pss_syscall_ns`` histograms
+        labeled ``{domain, transport}`` plus per-operation
+        ``pss_op_ns{op=...}`` histograms (resolved lazily per op kind).
+        """
+        self._metrics = registry
+        self._metric_labels = {"domain": domain, "transport": transport}
+        self._hist_vdso = registry.histogram(
+            "pss_vdso_read_ns", **self._metric_labels
+        )
+        self._hist_syscall = registry.histogram(
+            "pss_syscall_ns", **self._metric_labels
+        )
+        self._op_hists = {}
+        self._cache_hit_counter = registry.counter(
+            "pss_score_cache_hits_total", **self._metric_labels
+        )
+        self._cache_miss_counter = registry.counter(
+            "pss_score_cache_misses_total", **self._metric_labels
+        )
+
     def charge_vdso(self, ns: float) -> None:
         self.vdso_ns += ns
         self.vdso_calls += 1
+        if self._hist_vdso is not None:
+            self._hist_vdso.observe(ns)
 
     def charge_syscall(self, ns: float, records: int = 0) -> None:
         self.syscall_ns += ns
         self.syscalls += 1
         self.update_records += records
+        if self._hist_syscall is not None:
+            self._hist_syscall.observe(ns)
 
     def charge_op(self, op: str, ns: float) -> None:
         """Attribute ``ns`` of already-charged crossing time to one op kind.
@@ -112,12 +155,41 @@ class LatencyAccount:
         """
         self.op_ns[op] = self.op_ns.get(op, 0.0) + ns
         self.op_calls[op] = self.op_calls.get(op, 0) + 1
+        if self._metrics is not None:
+            hist = self._op_hists.get(op)
+            if hist is None:
+                hist = self._op_hists[op] = self._metrics.histogram(
+                    "pss_op_ns", op=op, **self._metric_labels
+                )
+            hist.observe(ns)
 
     def record_cache_hit(self) -> None:
         self.cache_hits += 1
+        if self._metrics is not None:
+            self._cache_hit_counter.inc()
 
     def record_cache_miss(self) -> None:
         self.cache_misses += 1
+        if self._metrics is not None:
+            self._cache_miss_counter.inc()
+
+    def merge(self, other: "LatencyAccount") -> None:
+        """Accumulate another account into this one (multi-client runs).
+
+        Counterpart of :meth:`PredictionStats.merge`; histograms are not
+        merged here - attach the same registry to every account instead.
+        """
+        self.vdso_ns += other.vdso_ns
+        self.syscall_ns += other.syscall_ns
+        self.vdso_calls += other.vdso_calls
+        self.syscalls += other.syscalls
+        self.update_records += other.update_records
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        for op, ns in other.op_ns.items():
+            self.op_ns[op] = self.op_ns.get(op, 0.0) + ns
+        for op, calls in other.op_calls.items():
+            self.op_calls[op] = self.op_calls.get(op, 0) + calls
 
     @property
     def cache_hit_rate(self) -> float:
@@ -163,6 +235,26 @@ class LatencyAccount:
             },
         }
 
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "LatencyAccount":
+        """Rebuild an account from a :meth:`snapshot` dict (round-trip).
+
+        Derived values (``total_ns``, ``cache_hit_rate``) are recomputed
+        from the restored counters, not read back.
+        """
+        ops = snapshot.get("ops", {})
+        return cls(
+            vdso_ns=snapshot["vdso_ns"],
+            syscall_ns=snapshot["syscall_ns"],
+            vdso_calls=snapshot["vdso_calls"],
+            syscalls=snapshot["syscalls"],
+            update_records=snapshot["update_records"],
+            cache_hits=snapshot["cache_hits"],
+            cache_misses=snapshot["cache_misses"],
+            op_ns={op: entry["ns"] for op, entry in ops.items()},
+            op_calls={op: entry["calls"] for op, entry in ops.items()},
+        )
+
 
 @dataclass
 class ResilienceStats:
@@ -192,6 +284,27 @@ class ResilienceStats:
             return 0.0
         return self.fallback_predictions / self.predictions
 
+    @property
+    def any_activity(self) -> bool:
+        """Whether this stats block recorded anything at all."""
+        return bool(
+            self.predictions or self.retries or self.transport_failures
+            or self.dropped_updates or self.dropped_resets
+            or self.breaker_opens or self.breaker_closes
+        )
+
+    def merge(self, other: "ResilienceStats") -> None:
+        """Accumulate another resilient client's stats into this one."""
+        self.predictions += other.predictions
+        self.fallback_predictions += other.fallback_predictions
+        self.retries += other.retries
+        self.transport_failures += other.transport_failures
+        self.dropped_updates += other.dropped_updates
+        self.dropped_resets += other.dropped_resets
+        self.breaker_opens += other.breaker_opens
+        self.breaker_closes += other.breaker_closes
+        self.backoff_ns += other.backoff_ns
+
 
 @dataclass
 class DomainReport:
@@ -206,6 +319,15 @@ class DomainReport:
     #: feature-vector -> selected-indices cache activity (model side)
     index_cache_hits: int = 0
     index_cache_misses: int = 0
+    #: aggregated resilient-client stats for this domain (None when no
+    #: resilient client ever connected)
+    resilience: ResilienceStats | None = None
+    #: latency histogram summaries per boundary path, populated when the
+    #: owning service has a metrics registry attached: maps a path name
+    #: ("vdso_read_ns" / "syscall_ns") to a Histogram.snapshot() dict
+    #: with count/mean/min/max/p50/p90/p99
+    latency_percentiles: dict[str, dict[str, float]] = \
+        field(default_factory=dict)
 
     @property
     def index_cache_hit_rate(self) -> float:

@@ -31,6 +31,7 @@ from repro.core.errors import (
 from repro.core.faults import FaultInjector
 from repro.core.features import canonical_features
 from repro.core.stats import LatencyAccount
+from repro.obs.trace import NULL_TRACER
 
 
 class ServiceTarget(Protocol):
@@ -57,6 +58,10 @@ class Transport:
         self.account = account or LatencyAccount()
         self._injector: FaultInjector | None = None
         self._closed = False
+        #: structured event tracer; NULL_TRACER keeps the hot path to a
+        #: single ``enabled`` attribute check when tracing is off
+        self._tracer = NULL_TRACER
+        self._obs_domain = getattr(target, "domain_name", "")
 
     @property
     def latency_model(self) -> LatencyModel:
@@ -70,6 +75,29 @@ class Transport:
     def injector(self) -> FaultInjector | None:
         return self._injector
 
+    @property
+    def tracer(self):
+        return self._tracer
+
+    def attach_observability(self, tracer=None, metrics=None) -> None:
+        """Attach a :class:`repro.obs.Tracer` and/or a
+        :class:`repro.obs.MetricsRegistry` to this transport.
+
+        The tracer receives typed events for every crossing (timestamps
+        are the account's cumulative simulated ns); the registry gets
+        latency histograms via :meth:`LatencyAccount.attach_metrics`.
+        An already-attached fault injector starts tracing its decisions
+        through the same tracer.
+        """
+        if tracer is not None:
+            self._tracer = tracer
+            if self._injector is not None:
+                self._injector.tracer = tracer
+        if metrics is not None:
+            self.account.attach_metrics(
+                metrics, domain=self._obs_domain, transport=self.name
+            )
+
     def attach_injector(self, injector: FaultInjector | None) -> None:
         """Attach (or, with None, detach) a fault injector.
 
@@ -77,6 +105,8 @@ class Transport:
         run models a transport that healed.
         """
         self._injector = injector
+        if injector is not None and self._tracer.enabled:
+            injector.tracer = self._tracer
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -96,14 +126,31 @@ class Transport:
     def update(self, features: Sequence[int], direction: bool) -> None:
         raise NotImplementedError
 
+    def _trace(self, kind: str, dur_ns: float = 0.0,
+               detail: dict | None = None) -> None:
+        """Record one event on this transport's track (pre-checked for
+        ``enabled`` by callers on the hot path; safe either way)."""
+        self._tracer.record(
+            kind, domain=self._obs_domain, transport=self.name,
+            ts_ns=self.account.total_ns, dur_ns=dur_ns,
+            generation=getattr(self._target, "generation", 0),
+            detail=detail,
+        )
+
     def reset(self, features: Sequence[int], reset_all: bool) -> None:
         """Resets always cross via syscall: they write kernel state."""
         self._ensure_open()
         self.account.charge_syscall(self._latency.syscall_ns)
         self.account.charge_op("reset", self._latency.syscall_ns)
+        if self._tracer.enabled:
+            self._trace("reset", dur_ns=self._latency.syscall_ns,
+                        detail={"reset_all": reset_all})
         self.flush()
         fault = self._syscall_fault()
         if fault is not None:
+            if self._tracer.enabled:
+                self._trace("fault", detail={"op": "reset",
+                                             "errno": fault.errno_name})
             raise fault
         self._target.reset(features, reset_all)
 
@@ -135,8 +182,13 @@ class SyscallTransport(Transport):
         self._ensure_open()
         self.account.charge_syscall(self._latency.syscall_ns)
         self.account.charge_op("predict", self._latency.syscall_ns)
+        if self._tracer.enabled:
+            self._trace("predict", dur_ns=self._latency.syscall_ns)
         fault = self._syscall_fault()
         if fault is not None:
+            if self._tracer.enabled:
+                self._trace("fault", detail={"op": "predict",
+                                             "errno": fault.errno_name})
             raise fault  # the failed crossing still cost a syscall
         return self._target.predict(features)
 
@@ -147,9 +199,15 @@ class SyscallTransport(Transport):
             # Crossing attempted and paid for, but no record delivered.
             self.account.charge_syscall(self._latency.syscall_ns)
             self.account.charge_op("update", self._latency.syscall_ns)
+            if self._tracer.enabled:
+                self._trace("fault", detail={"op": "update",
+                                             "errno": fault.errno_name})
             raise fault
         self.account.charge_syscall(self._latency.syscall_ns, records=1)
         self.account.charge_op("update", self._latency.syscall_ns)
+        if self._tracer.enabled:
+            self._trace("update", dur_ns=self._latency.syscall_ns,
+                        detail={"direction": direction})
         self._target.update(features, direction)
 
 
@@ -262,6 +320,9 @@ class VdsoTransport(Transport):
         self._ensure_open()
         self.account.charge_vdso(self._latency.vdso_predict_ns)
         self.account.charge_op("predict", self._latency.vdso_predict_ns)
+        traced = self._tracer.enabled
+        if traced:
+            self._trace("predict", dur_ns=self._latency.vdso_predict_ns)
         key = canonical_features(features)
         injector = self._injector
         if injector is not None and injector.plan.stale_read_rate > 0.0:
@@ -279,10 +340,14 @@ class VdsoTransport(Transport):
             score = cache.get(key)
             if score is not None:
                 self.account.record_cache_hit()
+                if traced:
+                    self._trace("cache_hit")
                 if self._cached_recorder is not None:
                     self._cached_recorder(score)
                 return score
         self.account.record_cache_miss()
+        if traced:
+            self._trace("cache_miss")
         score = self._target.predict(key)
         if len(cache) >= self.SCORE_CACHE_ENTRIES:
             cache.pop(next(iter(cache)))
@@ -297,6 +362,8 @@ class VdsoTransport(Transport):
         if self._injector.stale_read():
             stale = self._stale_cache.get(key)
             if stale is not None:
+                if self._tracer.enabled:
+                    self._trace("stale_read")
                 return stale
         score = self._target.predict(key)
         if key not in self._stale_cache \
@@ -308,6 +375,9 @@ class VdsoTransport(Transport):
     def update(self, features: Sequence[int], direction: bool) -> None:
         self._ensure_open()
         self._buffer.add(features, direction)
+        if self._tracer.enabled:
+            self._trace("update", detail={"direction": direction,
+                                          "buffered": True})
         if self._buffer.full:
             self.flush()
 
@@ -335,6 +405,15 @@ class VdsoTransport(Transport):
             delivered = 0
             fault.lost_records = len(records)
         self.account.charge_syscall(cost, records=delivered)
+        if self._tracer.enabled:
+            self._trace("flush", dur_ns=cost,
+                        detail={"records": len(records),
+                                "delivered": delivered})
+            if fault is not None:
+                self._trace("fault", detail={
+                    "op": "flush", "errno": fault.errno_name,
+                    "lost_records": fault.lost_records,
+                })
         for features, direction in records[:delivered]:
             self._target.update(features, direction)
         if fault is not None:

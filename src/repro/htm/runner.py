@@ -152,7 +152,9 @@ def pss_builder(service: PredictionService | None = None,
                 max_retries: int = MAX_RETRIES,
                 fault_plan=None,
                 resilience=None,
-                fallback_score: int = 1) -> PolicyBuilder:
+                fallback_score: int = 1,
+                tracer=None,
+                metrics=None) -> PolicyBuilder:
     """PSS-guided elision (Listing 1 with the gray lines).
 
     Pass an existing ``service`` to carry learned weights across runs
@@ -163,10 +165,16 @@ def pss_builder(service: PredictionService | None = None,
     degradable client: injected transport faults are absorbed and, with
     the breaker open, elision decisions fall back to ``fallback_score``
     (+1 by default - always attempt HTM, the paper's pre-PSS behaviour).
+
+    ``tracer``/``metrics`` instrument the implicitly created service
+    when no ``service`` is passed (an explicit service carries its own
+    observability).
     """
 
     def build(machine: HTMMachine) -> ElisionPolicy:
-        svc = service if service is not None else _Service()
+        svc = service if service is not None else _Service(
+            tracer=tracer, metrics=metrics
+        )
         resilient = fault_plan is not None or resilience is not None
         client = svc.connect(
             domain,

@@ -80,14 +80,32 @@ class SuiteResult:
         return sorted(self.comparisons, key=lambda c: -c.improvement)
 
 
+def _obs_service(tracer, metrics) -> PredictionService | None:
+    """A fresh instrumented service, or None when observability is off.
+
+    Every caller wants a *fresh* service per kernel/tuner (cold weights,
+    matching the paper's new-process methodology), so returning None for
+    the uninstrumented case preserves the tuner's own service creation.
+    """
+    if tracer is None and metrics is None:
+        return None
+    return PredictionService(tracer=tracer, metrics=metrics)
+
+
 def run_polybench_suite(iterations: int,
-                        kernels: dict | None = None) -> SuiteResult:
-    """Run every kernel at ``iterations`` (Figure 3: 20, Figure 4: 50)."""
+                        kernels: dict | None = None,
+                        tracer=None,
+                        metrics=None) -> SuiteResult:
+    """Run every kernel at ``iterations`` (Figure 3: 20, Figure 4: 50).
+
+    ``tracer``/``metrics`` instrument each kernel's (fresh) service.
+    """
     from repro.jit.polybench import KERNELS
 
     table = kernels or KERNELS
     comparisons = [
-        run_polybench_kernel(builder, iterations)
+        run_polybench_kernel(builder, iterations,
+                             service=_obs_service(tracer, metrics))
         for builder in table.values()
     ]
     return SuiteResult(iterations=iterations, comparisons=comparisons)
@@ -112,7 +130,9 @@ class MacroComparison:
 
 
 def run_macro_benchmark(program_builder, iterations: int,
-                        runs: int = 1) -> MacroComparison:
+                        runs: int = 1,
+                        tracer=None,
+                        metrics=None) -> MacroComparison:
     """Baseline vs PSS(vDSO) vs PSS(syscall), averaged across runs.
 
     The paper runs each macrobenchmark five times and plots the average
@@ -147,9 +167,11 @@ def run_macro_benchmark(program_builder, iterations: int,
             BaselineRunner(VM(JitParams())).run(workload, iterations)
         )
         pss_runs.append(PSSTuner(
+            service=_obs_service(tracer, metrics),
             transport="vdso", consult_per_decision=True,
         ).run(program_builder(), iterations))
         sys_runs.append(PSSTuner(
+            service=_obs_service(tracer, metrics),
             transport="syscall", consult_per_decision=True,
         ).run(program_builder(), iterations))
 

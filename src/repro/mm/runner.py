@@ -136,7 +136,9 @@ def compare_throttles(workers: int, seed: int = 0,
                       pss_runs: int = 4,
                       service: PredictionService | None = None,
                       duration_ns: float = RUN_DURATION_NS,
-                      reference_seeds: int = 3) -> Figure6Column:
+                      reference_seeds: int = 3,
+                      tracer=None,
+                      metrics=None) -> Figure6Column:
     """Vanilla vs Gorman vs PSS-run1..N at one worker count.
 
     The vanilla and Gorman latencies are averaged over
@@ -159,7 +161,9 @@ def compare_throttles(workers: int, seed: int = 0,
     vanilla_ns = averaged(VanillaCongestionWait)
     gorman_ns = averaged(GormanThrottle)
 
-    svc = service if service is not None else PredictionService()
+    svc = service if service is not None else PredictionService(
+        tracer=tracer, metrics=metrics
+    )
     pss_improvements = []
     for run in range(pss_runs):
         throttle = make_pss_throttle(svc)

@@ -1,0 +1,53 @@
+"""Observability for the Prediction System Service stack.
+
+White-box instrumentation (PRETZEL-style): a bounded structured event
+tracer, a metrics registry with log-bucketed latency histograms, and
+exporters for JSONL, Chrome trace-event JSON (Perfetto), and Prometheus
+text.  See ``docs/OBSERVABILITY.md`` for the event schema and usage.
+
+Everything is opt-in: components default to :data:`NULL_TRACER` and no
+registry, so the disabled hot path pays a single attribute or ``None``
+check and allocates nothing.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.session import ObsSession, histogram_summary, obs_from_args
+from repro.obs.trace import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "histogram_summary",
+    "obs_from_args",
+    "chrome_trace",
+    "prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,169 @@
+"""Exporters: JSONL events, Chrome trace-event JSON, Prometheus text.
+
+Three consumers, three formats:
+
+* :func:`write_jsonl` - one JSON object per line, greppable and
+  streamable, the raw event log.
+* :func:`chrome_trace` / :func:`write_chrome_trace` - the Chrome
+  trace-event format (``{"traceEvents": [...]}``) loadable in Perfetto
+  or ``chrome://tracing``; each (domain, transport) pair becomes its own
+  track, operations with a simulated duration are complete events and
+  everything else is an instant.
+* :func:`prometheus_text` - a Prometheus-style text snapshot of a
+  :class:`~repro.obs.metrics.MetricsRegistry`, with log-bucket
+  histograms rendered as cumulative ``_bucket{le=...}`` series.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent, Tracer
+
+#: event kinds that represent work with a duration (Chrome "X" events);
+#: everything else is rendered as an instant ("i")
+DURATION_KINDS = frozenset({"predict", "update", "reset", "flush"})
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> int:
+    """Dump the tracer's events as JSON Lines; returns the event count."""
+    events = tracer.events()
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.as_dict(),
+                                    separators=(",", ":")))
+            handle.write("\n")
+    return len(events)
+
+
+def _track_name(event: TraceEvent) -> str:
+    if event.domain and event.transport:
+        return f"{event.domain}/{event.transport}"
+    return event.domain or event.transport or "pss"
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """Render events as a Chrome trace-event JSON object.
+
+    Timestamps are simulated nanoseconds scaled to the format's
+    microsecond unit.  Every (domain, transport) pair gets its own
+    ``tid`` plus a ``thread_name`` metadata record, so Perfetto shows
+    one labeled track per domain/transport path.
+    """
+    pid = 1
+    tids: dict[str, int] = {}
+    trace_events: list[dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": "prediction-system-service"},
+    }]
+    body: list[dict[str, Any]] = []
+    for event in events:
+        track = _track_name(event)
+        tid = tids.get(track)
+        if tid is None:
+            tid = tids[track] = len(tids) + 1
+            trace_events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": track},
+            })
+        args: dict[str, Any] = {"generation": event.generation}
+        if event.detail:
+            args.update(event.detail)
+        record: dict[str, Any] = {
+            "name": event.kind,
+            "cat": "pss",
+            "pid": pid,
+            "tid": tid,
+            "ts": event.ts_ns / 1000.0,
+            "args": args,
+        }
+        if event.kind in DURATION_KINDS:
+            record["ph"] = "X"
+            record["dur"] = event.dur_ns / 1000.0
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        body.append(record)
+    trace_events.extend(body)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> int:
+    """Write the tracer's buffer as a Chrome trace file; returns the
+    number of exported (non-metadata) events."""
+    events = tracer.events()
+    Path(path).write_text(
+        json.dumps(chrome_trace(events), indent=1), encoding="utf-8"
+    )
+    return len(events)
+
+
+def validate_chrome_trace(data: Any) -> None:
+    """Raise ``ValueError`` unless ``data`` is a well-formed Chrome
+    trace-event object (the schema check CI runs on emitted traces)."""
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise ValueError("trace root must be an object with 'traceEvents'")
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for i, record in enumerate(events):
+        if not isinstance(record, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for field in ("ph", "pid", "tid", "name"):
+            if field not in record:
+                raise ValueError(f"traceEvents[{i}] lacks {field!r}")
+        if record["ph"] == "X" and "dur" not in record:
+            raise ValueError(f"traceEvents[{i}] is 'X' without 'dur'")
+        if record["ph"] != "M" and "ts" not in record:
+            raise ValueError(f"traceEvents[{i}] lacks 'ts'")
+
+
+def _label_text(labels: tuple[tuple[str, str], ...],
+                extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = labels + extra
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition-format snapshot of the registry."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for (name, labels), counter in registry.counters():
+        name = _sanitize(name)
+        declare(name, "counter")
+        lines.append(f"{name}{_label_text(labels)} {counter.value}")
+    for (name, labels), gauge in registry.gauges():
+        name = _sanitize(name)
+        declare(name, "gauge")
+        lines.append(f"{name}{_label_text(labels)} {gauge.value}")
+    for (name, labels), histogram in registry.histograms():
+        name = _sanitize(name)
+        declare(name, "histogram")
+        cumulative = 0
+        for lo, hi, count in histogram._spans():
+            cumulative += count
+            bound = _label_text(labels, (("le", f"{hi:g}"),))
+            lines.append(f"{name}_bucket{bound} {cumulative}")
+        bound = _label_text(labels, (("le", "+Inf"),))
+        lines.append(f"{name}_bucket{bound} {histogram.count}")
+        lines.append(f"{name}_sum{_label_text(labels)} {histogram.sum}")
+        lines.append(
+            f"{name}_count{_label_text(labels)} {histogram.count}"
+        )
+    return "\n".join(lines) + "\n"

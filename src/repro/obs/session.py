@@ -1,0 +1,119 @@
+"""CLI glue: turn ``--trace``/``--metrics`` flags into live instruments.
+
+Experiment drivers receive their arguments as a raw ``list[str]`` (the
+``python -m repro`` dispatcher forwards flags verbatim), so this module
+provides the one parser they share: :func:`obs_from_args` pops the
+observability flags out of an argument list and returns an
+:class:`ObsSession` holding the tracer and metrics registry to thread
+into :class:`~repro.core.service.PredictionService`.  After the run,
+:meth:`ObsSession.finish` writes the trace artifacts and renders the
+metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.exporters import (
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+#: ring capacity for CLI-driven traces: big enough for a --quick run's
+#: full event stream, bounded so `all` cannot exhaust memory
+CLI_TRACE_CAPACITY = 1 << 20
+
+
+@dataclass
+class ObsSession:
+    """Observability instruments for one experiment invocation."""
+
+    tracer: Tracer
+    metrics: MetricsRegistry | None
+    trace_path: str | None
+
+    @property
+    def active(self) -> bool:
+        return self.tracer.enabled or self.metrics is not None
+
+    def finish(self) -> str:
+        """Write artifacts and return a printable summary."""
+        lines: list[str] = []
+        if self.trace_path and self.tracer.enabled:
+            count = write_chrome_trace(self.tracer, self.trace_path)
+            events_path = Path(self.trace_path).with_suffix(
+                Path(self.trace_path).suffix + "l"
+            ) if str(self.trace_path).endswith(".json") else Path(
+                str(self.trace_path) + ".jsonl"
+            )
+            write_jsonl(self.tracer, events_path)
+            lines.append(
+                f"trace: {count} events -> {self.trace_path} "
+                f"(Chrome trace-event; open in Perfetto) and "
+                f"{events_path} (JSONL)"
+            )
+            if self.tracer.dropped:
+                lines.append(
+                    f"trace: ring buffer dropped "
+                    f"{self.tracer.dropped} oldest events"
+                )
+        if self.metrics is not None:
+            lines.append("metrics snapshot (Prometheus text format):")
+            lines.append(prometheus_text(self.metrics).rstrip("\n"))
+            lines.append("")
+            lines.append("latency histograms (simulated ns):")
+            lines.append(histogram_summary(self.metrics))
+        return "\n".join(lines)
+
+
+def histogram_summary(metrics: MetricsRegistry) -> str:
+    """Aligned per-histogram percentile table for stdout reports."""
+    from repro.bench.tables import format_table
+
+    rows = []
+    for (name, labels), histogram in metrics.histograms():
+        if histogram.count == 0:
+            continue
+        label_text = ",".join(f"{k}={v}" for k, v in labels)
+        snap = histogram.snapshot()
+        rows.append([
+            name, label_text, snap["count"],
+            f"{snap['mean']:.2f}", f"{snap['p50']:.2f}",
+            f"{snap['p90']:.2f}", f"{snap['p99']:.2f}",
+            f"{snap['max']:.2f}",
+        ])
+    if not rows:
+        return "<no observations>"
+    return format_table(
+        ["histogram", "labels", "count", "mean", "p50", "p90", "p99",
+         "max"],
+        rows,
+    )
+
+
+def obs_from_args(args: list[str]) -> ObsSession:
+    """Extract ``--trace PATH`` / ``--metrics`` from a raw argv list.
+
+    Unknown flags are left untouched; the returned session is inactive
+    (null tracer, no registry) when neither flag is present, so callers
+    can unconditionally thread ``session.tracer``/``session.metrics``
+    into a service.
+    """
+    trace_path: str | None = None
+    metrics_requested = False
+    if "--trace" in args:
+        index = args.index("--trace")
+        if index + 1 >= len(args):
+            raise SystemExit("--trace requires a file path argument")
+        trace_path = args[index + 1]
+    if "--metrics" in args:
+        metrics_requested = True
+    tracer: Tracer = (Tracer(capacity=CLI_TRACE_CAPACITY)
+                      if trace_path else NULL_TRACER)
+    registry = MetricsRegistry() if metrics_requested else None
+    return ObsSession(tracer=tracer, metrics=registry,
+                      trace_path=trace_path)

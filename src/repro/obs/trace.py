@@ -1,0 +1,160 @@
+"""Structured event tracing for the PSS stack.
+
+The paper's evaluation reasons about latency *distributions* across the
+user/kernel boundary, which means knowing what the service actually did,
+event by event: which predictions hit the score cache, when a batch
+flushed, when a fault was injected and how the client degraded.  A
+:class:`Tracer` is a bounded ring buffer of typed :class:`TraceEvent`
+records carrying simulated-nanosecond timestamps; exporters
+(:mod:`repro.obs.exporters`) turn the buffer into JSONL, Chrome
+trace-event JSON (one track per domain/transport, loadable in Perfetto or
+``chrome://tracing``), or plain dicts.
+
+Tracing is opt-in and the disabled path is allocation-free: every traced
+component holds :data:`NULL_TRACER` by default and guards each record
+with ``if tracer.enabled`` - a single attribute check, no event object is
+ever built.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, NamedTuple
+
+#: event kinds emitted by the instrumented stack (transports, clients,
+#: fault injector, checkpoint manager).  Exporters and tests treat this
+#: as the schema; new kinds must be added here.
+EVENT_KINDS = frozenset({
+    "predict",            # a prediction crossed (or was served) here
+    "update",             # an update record was accepted (maybe buffered)
+    "reset",              # a reset crossed via syscall
+    "flush",              # a batch of buffered updates crossed
+    "cache_hit",          # score cache answered without the service
+    "cache_miss",         # score cache missed; model evaluated
+    "stale_read",         # injected vDSO staleness served an old score
+    "fault",              # a TransportFault was raised to the caller
+    "fault_injected",     # the injector decided to inject (decision time)
+    "retry",              # resilient client retried a failed operation
+    "fallback",           # resilient client served the static fallback
+    "breaker_open",       # circuit breaker tripped OPEN
+    "breaker_close",      # circuit breaker recovered to CLOSED
+    "checkpoint_save",    # CheckpointManager wrote a snapshot
+    "checkpoint_restore", # CheckpointManager attempted recovery
+})
+
+
+class TraceEvent(NamedTuple):
+    """One traced occurrence.
+
+    ``ts_ns`` is simulated nanoseconds on the emitting component's
+    timeline (a transport stamps its latency account's cumulative time;
+    events with no natural clock get a monotonic sequence number).
+    ``dur_ns`` is the simulated cost of the operation (0 for instants).
+    """
+
+    ts_ns: float
+    kind: str
+    domain: str
+    transport: str
+    dur_ns: float
+    generation: int
+    detail: dict[str, Any] | None
+
+    def as_dict(self) -> dict[str, Any]:
+        d = {
+            "ts_ns": self.ts_ns,
+            "kind": self.kind,
+            "domain": self.domain,
+            "transport": self.transport,
+            "dur_ns": self.dur_ns,
+            "generation": self.generation,
+        }
+        if self.detail:
+            d["detail"] = self.detail
+        return d
+
+
+class Tracer:
+    """Bounded ring buffer of :class:`TraceEvent` records.
+
+    When the buffer is full the oldest events are overwritten and
+    :attr:`dropped` counts how many were lost - a long run keeps its most
+    recent window instead of growing without bound.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536,
+                 clock: Callable[[], float] | None = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: optional global clock (e.g. a sim Engine's ``now``) used for
+        #: events recorded without an explicit timestamp
+        self.clock = clock
+        self.dropped = 0
+        self._ring: list[TraceEvent] = []
+        self._head = 0  # next write position once the ring is full
+        self._seq = 0   # fallback timestamp: monotonic event number
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, kind: str, domain: str = "", transport: str = "",
+               ts_ns: float | None = None, dur_ns: float = 0.0,
+               generation: int = 0,
+               detail: dict[str, Any] | None = None) -> None:
+        """Append one event, evicting the oldest when full."""
+        self._seq += 1
+        if ts_ns is None:
+            ts_ns = self.clock() if self.clock is not None else float(
+                self._seq)
+        event = TraceEvent(ts_ns, kind, domain, transport, dur_ns,
+                           generation, detail)
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(event)
+        else:
+            ring[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def events(self) -> list[TraceEvent]:
+        """All buffered events, oldest first."""
+        return self._ring[self._head:] + self._ring[:self._head]
+
+    def clear(self) -> None:
+        self._ring = []
+        self._head = 0
+        self.dropped = 0
+
+
+class NullTracer:
+    """Disabled tracer: records nothing, allocates nothing.
+
+    Components default to this so the hot path pays only one attribute
+    check (``tracer.enabled``) when tracing is off.
+    """
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+    clock = None
+
+    def __len__(self) -> int:
+        return 0
+
+    def record(self, kind: str, domain: str = "", transport: str = "",
+               ts_ns: float | None = None, dur_ns: float = 0.0,
+               generation: int = 0,
+               detail: dict[str, Any] | None = None) -> None:
+        pass
+
+    def events(self) -> list[TraceEvent]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+#: shared disabled tracer; safe to use as a default everywhere
+NULL_TRACER = NullTracer()

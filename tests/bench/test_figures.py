@@ -48,11 +48,33 @@ class TestCli:
         out = capsys.readouterr().out
         assert "perceptron" in out
 
-    def test_unknown_command_rejected(self):
+    def test_unknown_command_lists_experiments(self, capsys):
         from repro.__main__ import main
 
-        with pytest.raises(SystemExit):
-            main(["figure99"])
+        assert main(["figure99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command 'figure99'" in err
+        for name in ("fig2", "fig6", "latency"):
+            assert name in err
+
+    def test_no_command_lists_experiments(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 2
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "Figure 2" in out
+        assert "--trace" in out
+
+    def test_observability_flags_accepted(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        trace = tmp_path / "t.json"
+        assert main(["latency", "--trace", str(trace),
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert trace.exists()
+        assert "metrics snapshot" in out
 
     def test_experiment_registry_covers_all_figures(self):
         from repro.__main__ import EXPERIMENTS

@@ -6,6 +6,7 @@ from repro.core.stats import (
     DomainReport,
     LatencyAccount,
     PredictionStats,
+    ResilienceStats,
 )
 
 
@@ -90,9 +91,92 @@ class TestLatencyAccount:
         assert account.cache_misses == 1
         assert account.cache_hit_rate == pytest.approx(2 / 3)
 
+    def test_merge(self):
+        a = LatencyAccount()
+        a.charge_vdso(4.0)
+        a.charge_op("predict", 4.0)
+        a.record_cache_hit()
+        b = LatencyAccount()
+        b.charge_vdso(6.0)
+        b.charge_syscall(68.0, records=3)
+        b.charge_op("predict", 6.0)
+        b.charge_op("flush", 68.0)
+        b.record_cache_miss()
+        a.merge(b)
+        assert a.vdso_calls == 2
+        assert a.mean_vdso_ns == pytest.approx(5.0)
+        assert a.syscalls == 1
+        assert a.update_records == 3
+        assert a.cache_hits == 1 and a.cache_misses == 1
+        assert a.op_calls["predict"] == 2
+        assert a.mean_op_ns("predict") == pytest.approx(5.0)
+        assert a.op_calls["flush"] == 1
+
+    def test_merge_with_empty_is_identity(self):
+        a = LatencyAccount()
+        a.charge_vdso(4.19)
+        before = a.snapshot()
+        a.merge(LatencyAccount())
+        assert a.snapshot() == before
+
+    def test_snapshot_round_trip(self):
+        account = LatencyAccount()
+        account.charge_vdso(4.19)
+        account.charge_syscall(68.0, records=2)
+        account.charge_op("predict", 4.19)
+        account.charge_op("flush", 68.0)
+        account.record_cache_hit()
+        account.record_cache_miss()
+        restored = LatencyAccount.from_snapshot(account.snapshot())
+        assert restored.snapshot() == account.snapshot()
+        assert restored.total_ns == pytest.approx(account.total_ns)
+        assert restored.cache_hit_rate == \
+            pytest.approx(account.cache_hit_rate)
+
+    def test_from_snapshot_tolerates_missing_ops(self):
+        snap = LatencyAccount().snapshot()
+        del snap["ops"]
+        restored = LatencyAccount.from_snapshot(snap)
+        assert restored.op_ns == {}
+
+
+class TestResilienceStats:
+    def test_any_activity(self):
+        assert not ResilienceStats().any_activity
+        assert ResilienceStats(predictions=1).any_activity
+        assert ResilienceStats(breaker_opens=1).any_activity
+
+    def test_merge(self):
+        a = ResilienceStats(predictions=5, fallback_predictions=2,
+                            retries=1, backoff_ns=100.0)
+        b = ResilienceStats(predictions=3, fallback_predictions=1,
+                            dropped_updates=4, backoff_ns=50.0)
+        a.merge(b)
+        assert a.predictions == 8
+        assert a.fallback_predictions == 3
+        assert a.dropped_updates == 4
+        assert a.backoff_ns == pytest.approx(150.0)
+        assert a.degraded_fraction == pytest.approx(3 / 8)
+
 
 class TestDomainReport:
     def test_defaults(self):
         report = DomainReport(name="d", model="perceptron")
         assert report.stats.predictions == 0
         assert report.latency.total_ns == 0.0
+        assert report.resilience is None
+        assert report.latency_percentiles == {}
+
+    def test_index_cache_hit_rate(self):
+        report = DomainReport(name="d", model="perceptron",
+                              index_cache_hits=3, index_cache_misses=1)
+        assert report.index_cache_hit_rate == pytest.approx(0.75)
+        assert DomainReport(name="d", model="p").index_cache_hit_rate \
+            == 0.0
+
+    def test_cached_prediction_rate(self):
+        stats = PredictionStats(predictions=4, cached_predictions=1)
+        report = DomainReport(name="d", model="perceptron", stats=stats)
+        assert report.cached_prediction_rate == pytest.approx(0.25)
+        assert DomainReport(name="d", model="p").cached_prediction_rate \
+            == 0.0

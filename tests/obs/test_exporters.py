@@ -1,0 +1,108 @@
+"""Exporter round-trips: JSONL, Chrome trace-event JSON, validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.record("predict", domain="hle", transport="vdso",
+                  ts_ns=4.19, dur_ns=4.19, generation=1)
+    tracer.record("cache_hit", domain="hle", transport="vdso",
+                  ts_ns=8.38)
+    tracer.record("predict", domain="hle", transport="syscall",
+                  ts_ns=68.0, dur_ns=68.0)
+    tracer.record("fault_injected", transport="injector",
+                  detail={"mode": "stale_read"})
+    return tracer
+
+
+class TestJsonl:
+    def test_one_parseable_object_per_line(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "events.jsonl"
+        count = write_jsonl(tracer, path)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 4
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["kind"] == "predict"
+        assert parsed[0]["dur_ns"] == 4.19
+        assert parsed[3]["detail"] == {"mode": "stale_read"}
+
+
+class TestChromeTrace:
+    def test_valid_and_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(_sample_tracer(), path)
+        assert count == 4
+        data = json.loads(path.read_text())
+        validate_chrome_trace(data)
+
+    def test_one_track_per_domain_transport_pair(self):
+        data = chrome_trace(_sample_tracer().events())
+        names = {
+            record["args"]["name"]
+            for record in data["traceEvents"]
+            if record["ph"] == "M" and record["name"] == "thread_name"
+        }
+        assert names == {"hle/vdso", "hle/syscall", "injector"}
+        # Events on the same track share a tid.
+        tids = {
+            record["name"]: record["tid"]
+            for record in data["traceEvents"] if record["ph"] != "M"
+        }
+        assert tids["cache_hit"] == [
+            r["tid"] for r in data["traceEvents"]
+            if r["ph"] != "M" and r.get("args", {}).get("generation") == 1
+        ][0]
+
+    def test_durations_become_complete_events(self):
+        data = chrome_trace(_sample_tracer().events())
+        by_name = {}
+        for record in data["traceEvents"]:
+            if record["ph"] != "M":
+                by_name.setdefault(record["name"], record)
+        assert by_name["predict"]["ph"] == "X"
+        assert by_name["predict"]["dur"] == pytest.approx(4.19 / 1000)
+        assert by_name["cache_hit"]["ph"] == "i"
+        assert "dur" not in by_name["cache_hit"]
+
+    def test_timestamps_scaled_to_microseconds(self):
+        data = chrome_trace(_sample_tracer().events())
+        predict = next(r for r in data["traceEvents"]
+                       if r["ph"] == "X")
+        assert predict["ts"] == pytest.approx(4.19 / 1000)
+
+
+class TestValidation:
+    def test_rejects_non_object_root(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_record_without_ph(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"pid": 1, "tid": 1, "name": "x"}]}
+            )
+
+    def test_rejects_complete_event_without_duration(self):
+        record = {"ph": "X", "pid": 1, "tid": 1, "name": "p", "ts": 0.0}
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [record]})
+
+    def test_accepts_emitted_traces(self):
+        validate_chrome_trace(chrome_trace(_sample_tracer().events()))
+        validate_chrome_trace(chrome_trace([]))
