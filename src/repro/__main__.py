@@ -25,6 +25,8 @@ EXPERIMENTS = {
              "Figure 6: stutterp page reclaim"),
     "latency": (experiments.latency.main,
                 "Prediction latency (vDSO vs syscall)"),
+    "tenants": (experiments.tenants.main,
+                "Multi-tenant shard scaling (htm+jit+mm)"),
 }
 
 UTILITIES = {
@@ -87,6 +89,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="collect latency histograms and counters; "
                              "print a metrics snapshot after the run")
+    parser.add_argument("--seed", type=int, metavar="N",
+                        help="deterministic seed forwarded to drivers "
+                             "that accept one (e.g. tenants)")
     parsed = parser.parse_args(argv)
 
     if parsed.command is None:
@@ -106,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
         passthrough.extend(["--trace", parsed.trace])
     if parsed.metrics:
         passthrough.append("--metrics")
+    if parsed.seed is not None:
+        passthrough.extend(["--seed", str(parsed.seed)])
     if parsed.command == "models":
         return cmd_models(passthrough)
     if parsed.command == "all":

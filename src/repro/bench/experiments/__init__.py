@@ -5,6 +5,14 @@ a ``main()`` that prints the figure's rows; all are runnable as
 ``python -m repro.bench.experiments.<name>``.
 """
 
-from repro.bench.experiments import fig2, fig3, fig4, fig5, fig6, latency
+from repro.bench.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    latency,
+    tenants,
+)
 
-__all__ = ["fig2", "fig3", "fig4", "fig5", "fig6", "latency"]
+__all__ = ["fig2", "fig3", "fig4", "fig5", "fig6", "latency", "tenants"]

@@ -46,6 +46,9 @@ def fastpath_table(labeled_reports) -> str:
     with_percentiles = any(
         report.latency_percentiles for _label, report in labeled
     )
+    # Shard column only when some domain actually lives off shard 0,
+    # keeping single-shard report output byte-identical to pre-sharding.
+    with_shards = any(report.shard for _label, report in labeled)
 
     def percentile_cells(report) -> list[str]:
         cells = []
@@ -61,17 +64,24 @@ def fastpath_table(labeled_reports) -> str:
         row = [
             label,
             report.name,
+        ]
+        if with_shards:
+            row.append(report.shard)
+        row.extend([
             stats.predictions,
             stats.cached_predictions,
             pct_plain(report.cached_prediction_rate),
             pct_plain(report.index_cache_hit_rate),
             report.generation,
-        ]
+        ])
         if with_percentiles:
             row.extend(percentile_cells(report))
         rows.append(row)
-    headers = ["scenario", "domain", "predicts", "cached",
-               "cached%", "idx-hit%", "weight-gen"]
+    headers = ["scenario", "domain"]
+    if with_shards:
+        headers.append("shard")
+    headers.extend(["predicts", "cached",
+                    "cached%", "idx-hit%", "weight-gen"])
     if with_percentiles:
         headers.extend(["vdso-p50", "vdso-p99", "sys-p50", "sys-p99"])
     return format_table(headers, rows)
@@ -153,6 +163,71 @@ def boundary_table(labeled_accounts) -> str:
     return format_table(
         ["client", "vdso-calls", "vdso-mean", "syscalls", "sys-mean",
          "cache-hit%", "total-us"],
+        rows,
+    )
+
+
+def shard_table(summaries) -> str:
+    """Shard-scaling table from ``ShardedService.shard_summaries()``.
+
+    One row per shard: how many domains landed there, aggregate
+    prediction/update volume, and - when the service ran with a metrics
+    registry - vDSO/syscall latency percentiles merged over the shard's
+    domains.  The ``tenants`` experiment prints one of these per shard
+    count to show how stable hashing spreads the tenant mix.
+    """
+    summaries = list(summaries)
+    with_percentiles = any(
+        s.get("latency_percentiles") for s in summaries
+    )
+
+    def percentile_cells(summary) -> list[str]:
+        cells = []
+        for path in ("vdso_read_ns", "syscall_ns"):
+            snap = summary.get("latency_percentiles", {}).get(path)
+            for key in ("p50", "p99"):
+                cells.append(f"{snap[key]:.2f}" if snap else "-")
+        return cells
+
+    rows = []
+    for summary in summaries:
+        latency = summary["latency"]
+        row = [
+            summary["shard"],
+            summary["domains"],
+            summary["predictions"],
+            summary["updates"],
+            f"{latency.total_ns / 1e3:.1f}",
+        ]
+        if with_percentiles:
+            row.extend(percentile_cells(summary))
+        rows.append(row)
+    headers = ["shard", "domains", "predicts", "updates", "total-us"]
+    if with_percentiles:
+        headers.extend(["vdso-p50", "vdso-p99", "sys-p50", "sys-p99"])
+    return format_table(headers, rows)
+
+
+def tenant_table(usage_rows) -> str:
+    """Per-tenant consumption table from
+    ``AdmissionController.usage_rows()``."""
+
+    def limit(value) -> str:
+        return "-" if value is None else str(value)
+
+    rows = []
+    for identity, usage, quota in usage_rows:
+        rows.append([
+            f"{identity.program}(uid={identity.uid})",
+            f"{usage.domains}/{limit(quota.max_domains)}",
+            f"{usage.predictions}/{limit(quota.predict_budget)}",
+            f"{usage.updates}/{limit(quota.update_budget)}",
+            usage.rejections,
+        ])
+    if not rows:
+        return "<no tenants>"
+    return format_table(
+        ["tenant", "domains", "predicts", "updates", "rejected"],
         rows,
     )
 

@@ -10,6 +10,10 @@ Public surface:
 * Feature helpers (:func:`round_to_msf`, :class:`HistoryRegister`, ...).
 * Policy (:class:`ClientIdentity`, :class:`DomainPolicy`) and persistence
   (:func:`save_service`, :func:`load_service`).
+* The sharded kernel (:mod:`repro.core.kernel`):
+  :class:`ShardedService`, :class:`AdmissionController` with
+  :class:`TenantQuota` budgets, and the per-shard
+  :class:`ShardedCheckpointManager`.
 """
 
 from repro.core.client import CircuitBreaker, PSSClient, ResilientClient
@@ -23,6 +27,7 @@ from repro.core.config import (
     VDSO_PREDICT_LATENCY_NS,
 )
 from repro.core.errors import (
+    AdmissionError,
     ConfigError,
     DomainError,
     FeatureError,
@@ -30,6 +35,7 @@ from repro.core.errors import (
     PersistenceError,
     PolicyError,
     PSSError,
+    QuotaExceededError,
     TransportClosedError,
     TransportError,
     TransportFault,
@@ -43,6 +49,16 @@ from repro.core.features import (
     reciprocal_ratio,
     round_to_msf,
     rounded_vector,
+)
+from repro.core.kernel import (
+    AdmissionController,
+    Shard,
+    ShardedCheckpointManager,
+    ShardedService,
+    ShardRouter,
+    ShardView,
+    TenantQuota,
+    TenantUsage,
 )
 from repro.core.models import (
     PredictorModel,
@@ -93,6 +109,7 @@ __all__ = [
     "ServiceConfig",
     "SYSCALL_LATENCY_NS",
     "VDSO_PREDICT_LATENCY_NS",
+    "AdmissionError",
     "ConfigError",
     "DomainError",
     "FeatureError",
@@ -100,9 +117,18 @@ __all__ = [
     "PersistenceError",
     "PolicyError",
     "PSSError",
+    "QuotaExceededError",
     "TransportClosedError",
     "TransportError",
     "TransportFault",
+    "AdmissionController",
+    "Shard",
+    "ShardedCheckpointManager",
+    "ShardedService",
+    "ShardRouter",
+    "ShardView",
+    "TenantQuota",
+    "TenantUsage",
     "FaultInjector",
     "FaultPlan",
     "FaultStats",

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Callable, Sequence, Union
 
 from repro.core.config import LatencyModel, ResilienceConfig
-from repro.core.errors import TransportFault
+from repro.core.errors import QuotaExceededError, TransportFault
 from repro.core.faults import FaultInjector
 from repro.core.features import canonical_features
 from repro.core.service import DomainHandle
@@ -202,6 +202,10 @@ class ResilientClient(PSSClient):
       updates/resets are dropped - they are only hints.
     * When the transport heals, the breaker's half-open probe discovers
       it and normal service resumes.
+    * Admission rejections (:class:`~repro.core.errors
+      .QuotaExceededError`) are served by the same static fallback but
+      are **never retried** and never trip the breaker: a retry cannot
+      un-exhaust a budget, and the transport itself is healthy.
     """
 
     def __init__(self, handle: DomainHandle,
@@ -278,6 +282,16 @@ class ResilientClient(PSSClient):
             score = self._attempt(
                 lambda: self._transport.predict(features)
             )
+        except QuotaExceededError:
+            # Not a transport failure: no retry, no breaker trip.  The
+            # tenant is over budget, so serve the static fallback.
+            self.stats.quota_rejections += 1
+            self._last_was_fallback = True
+            self.stats.fallback_predictions += 1
+            if self._tracer.enabled:
+                self._trace_client("fallback",
+                                   detail={"reason": "quota"})
+            return self.fallback_score(features)
         except TransportFault:
             self.stats.transport_failures += 1
             self._breaker.record_failure()
@@ -299,6 +313,11 @@ class ResilientClient(PSSClient):
             self._attempt(
                 lambda: self._transport.update(features, direction)
             )
+        except QuotaExceededError:
+            # Updates are hints; an over-budget tenant's hints are
+            # dropped without touching the breaker.
+            self.stats.quota_rejections += 1
+            self.stats.dropped_updates += 1
         except TransportFault as fault:
             self.stats.transport_failures += 1
             if fault.lost_records == 0:
@@ -338,6 +357,9 @@ class ResilientClient(PSSClient):
         # hide the loss.
         try:
             self._transport.flush()
+        except QuotaExceededError as exc:
+            self.stats.quota_rejections += 1
+            self.stats.dropped_updates += getattr(exc, "lost_records", 0)
         except TransportFault as fault:
             self.stats.transport_failures += 1
             self.stats.dropped_updates += fault.lost_records
@@ -348,6 +370,9 @@ class ResilientClient(PSSClient):
     def close(self) -> None:
         try:
             self._transport.close()
+        except QuotaExceededError as exc:
+            self.stats.quota_rejections += 1
+            self.stats.dropped_updates += getattr(exc, "lost_records", 0)
         except TransportFault as fault:
             self.stats.transport_failures += 1
             self.stats.dropped_updates += fault.lost_records

@@ -30,6 +30,34 @@ class PolicyError(PSSError):
     """The caller is not permitted to perform the requested operation."""
 
 
+class AdmissionError(PSSError):
+    """The admission layer refused a request before it reached a domain."""
+
+
+class QuotaExceededError(AdmissionError):
+    """A tenant ran out of an admission-controlled resource.
+
+    ``identity`` is the :class:`~repro.core.policy.ClientIdentity` that
+    exhausted its quota, ``resource`` names the budget
+    ("domains" / "updates" / "predictions"), ``limit`` is its ceiling.
+    Quota exhaustion is *not* transient - retrying cannot un-exhaust a
+    budget - so the :class:`~repro.core.client.ResilientClient` serves
+    its static fallback immediately instead of retrying.
+    """
+
+    def __init__(self, identity, resource: str, limit: int,
+                 message: str | None = None) -> None:
+        super().__init__(
+            message
+            or (f"{getattr(identity, 'program', identity)} "
+                f"(uid {getattr(identity, 'uid', '?')}) exceeded its "
+                f"{resource} quota of {limit}")
+        )
+        self.identity = identity
+        self.resource = resource
+        self.limit = limit
+
+
 class TransportError(PSSError):
     """A transport was used in an unsupported way (e.g. write via vDSO)."""
 

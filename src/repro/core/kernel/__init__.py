@@ -1,0 +1,52 @@
+"""The layered service kernel: shards, admission, domains, checkpoints.
+
+Layer diagram (see ``docs/ARCHITECTURE.md``)::
+
+    ShardedService            kernel facade: routing + admission + obs
+      ├─ ShardRouter          stable name -> shard placement
+      ├─ AdmissionController  per-tenant quotas (domains/updates/predicts)
+      └─ Shard[0..N)          domains + per-shard stats/latency
+           └─ Domain          model + config + policy + stats
+                ▲
+          DomainHandle        policy- & admission-checked view
+                ▲
+          Transports          vDSO / syscall cost model
+                ▲
+          PSSClient / ResilientClient
+
+:class:`~repro.core.service.PredictionService` is the single-shard,
+API-compatible facade over :class:`ShardedService`.
+"""
+
+from repro.core.kernel.admission import (
+    AdmissionController,
+    TenantQuota,
+    TenantUsage,
+    UNLIMITED,
+)
+from repro.core.kernel.checkpoint import (
+    MANIFEST_NAME,
+    ShardView,
+    ShardedCheckpointManager,
+    shard_file_name,
+)
+from repro.core.kernel.domain import Domain, DomainHandle
+from repro.core.kernel.service import ShardedService
+from repro.core.kernel.shard import Shard
+from repro.core.kernel.sharding import ShardRouter
+
+__all__ = [
+    "AdmissionController",
+    "TenantQuota",
+    "TenantUsage",
+    "UNLIMITED",
+    "MANIFEST_NAME",
+    "ShardView",
+    "ShardedCheckpointManager",
+    "shard_file_name",
+    "Domain",
+    "DomainHandle",
+    "ShardedService",
+    "Shard",
+    "ShardRouter",
+]

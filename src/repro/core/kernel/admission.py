@@ -1,0 +1,160 @@
+"""Admission control: per-tenant quotas in front of the domains.
+
+PRETZEL-style white-box multi-tenancy needs the service, not the
+clients, to decide who may consume what.  A tenant is a
+:class:`~repro.core.policy.ClientIdentity`; the
+:class:`AdmissionController` sits between the client-facing entry
+points (``connect``/``handle`` and the policy-checked
+:class:`~repro.core.kernel.domain.DomainHandle` operations) and the
+domains, enforcing a :class:`TenantQuota` per identity:
+
+* ``max_domains`` - how many domains the tenant may register (implicit
+  creation counts);
+* ``update_budget`` - how many update records the tenant may deliver;
+* ``predict_budget`` - how many predictions the tenant may consume.
+
+Exhausting a quota raises
+:class:`~repro.core.errors.QuotaExceededError`, which the
+:class:`~repro.core.client.ResilientClient` treats as
+*fallback-eligible but not retryable*: retrying cannot un-exhaust a
+budget, so the client degrades immediately instead of burning backoff
+time.  In-kernel callers (the service's direct ``predict``/``update``
+convenience methods) bypass admission, exactly as they bypass policy.
+
+The default quota is unlimited on every axis, so a service without
+explicit quotas behaves bit-identically to one with no controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import QuotaExceededError
+from repro.core.policy import ClientIdentity
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Resource ceilings for one tenant; ``None`` means unlimited."""
+
+    max_domains: int | None = None
+    update_budget: int | None = None
+    predict_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_domains", "update_budget", "predict_budget"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(
+                    f"{name} must be non-negative or None, got {value}"
+                )
+
+
+#: shared default: no limits, no admission failures
+UNLIMITED = TenantQuota()
+
+
+@dataclass
+class TenantUsage:
+    """What one tenant has consumed so far."""
+
+    domains: int = 0
+    updates: int = 0
+    predictions: int = 0
+    #: requests the admission layer refused (any resource)
+    rejections: int = 0
+
+
+class AdmissionController:
+    """Quota bookkeeping and enforcement for every tenant of a service.
+
+    Quotas are keyed by the full :class:`ClientIdentity` (uid and
+    program), with ``default_quota`` applied to identities that have no
+    explicit entry.  Usage is tracked per identity either way, so the
+    ``tenants`` experiment can report consumption even for unlimited
+    tenants.
+    """
+
+    def __init__(self, default_quota: TenantQuota = UNLIMITED,
+                 quotas: dict[ClientIdentity, TenantQuota] | None = None,
+                 ) -> None:
+        self.default_quota = default_quota
+        self._quotas: dict[ClientIdentity, TenantQuota] = dict(quotas or {})
+        self._usage: dict[ClientIdentity, TenantUsage] = {}
+
+    # -- configuration -----------------------------------------------------
+
+    def set_quota(self, identity: ClientIdentity,
+                  quota: TenantQuota) -> None:
+        self._quotas[identity] = quota
+
+    def quota_for(self, identity: ClientIdentity) -> TenantQuota:
+        return self._quotas.get(identity, self.default_quota)
+
+    def usage_for(self, identity: ClientIdentity) -> TenantUsage:
+        usage = self._usage.get(identity)
+        if usage is None:
+            usage = self._usage[identity] = TenantUsage()
+        return usage
+
+    def tenants(self) -> list[ClientIdentity]:
+        """Every identity that has any usage or an explicit quota,
+        sorted for stable reporting."""
+        known = set(self._usage) | set(self._quotas)
+        return sorted(known, key=lambda who: (who.uid, who.program))
+
+    # -- enforcement -------------------------------------------------------
+
+    def admit_domain(self, identity: ClientIdentity, name: str) -> None:
+        """Charge one domain registration; raises when over quota."""
+        quota = self.quota_for(identity)
+        usage = self.usage_for(identity)
+        if quota.max_domains is not None \
+                and usage.domains >= quota.max_domains:
+            usage.rejections += 1
+            raise QuotaExceededError(
+                identity, "domains", quota.max_domains,
+                message=(
+                    f"{identity.program} (uid {identity.uid}) may not "
+                    f"register domain {name!r}: tenant already holds "
+                    f"{usage.domains} of {quota.max_domains} domains"
+                ),
+            )
+        usage.domains += 1
+
+    def release_domain(self, identity: ClientIdentity) -> None:
+        usage = self.usage_for(identity)
+        if usage.domains > 0:
+            usage.domains -= 1
+
+    def charge_predict(self, identity: ClientIdentity) -> None:
+        quota = self.quota_for(identity)
+        usage = self.usage_for(identity)
+        if quota.predict_budget is not None \
+                and usage.predictions >= quota.predict_budget:
+            usage.rejections += 1
+            raise QuotaExceededError(
+                identity, "predictions", quota.predict_budget
+            )
+        usage.predictions += 1
+
+    def charge_update(self, identity: ClientIdentity) -> None:
+        quota = self.quota_for(identity)
+        usage = self.usage_for(identity)
+        if quota.update_budget is not None \
+                and usage.updates >= quota.update_budget:
+            usage.rejections += 1
+            raise QuotaExceededError(
+                identity, "updates", quota.update_budget
+            )
+        usage.updates += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def usage_rows(self) -> list[tuple[ClientIdentity, TenantUsage,
+                                       TenantQuota]]:
+        """(identity, usage, quota) per known tenant, stably ordered."""
+        return [
+            (who, self.usage_for(who), self.quota_for(who))
+            for who in self.tenants()
+        ]

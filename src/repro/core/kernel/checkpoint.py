@@ -1,0 +1,286 @@
+"""Independently checkpointable shard state: manifest + per-shard files.
+
+Whole-service snapshots (:mod:`repro.core.persistence`) scale linearly
+with total domain count: one hot domain forces rewriting every cold
+one.  The sharded kernel instead checkpoints each shard into its own
+CRC-checked file - reusing the existing atomic
+:class:`~repro.core.persistence.CheckpointManager` per shard via a
+:class:`ShardView` adapter - plus a ``manifest.json`` recording the
+shard topology and a CRC-32 per shard file.
+
+Layout under ``directory``::
+
+    manifest.json      {"version", "num_shards", "shards": {id: {...}}}
+    shard-0000.json    ordinary CRC-checked service snapshot (shard 0)
+    shard-0001.json    ...
+
+Write ordering is shards first, manifest last, each file atomically
+(temp + rename): a crash mid-checkpoint leaves either the previous
+manifest (pointing at previous files, which still exist byte-identical
+or were atomically replaced - a replaced file fails the manifest CRC
+and is skipped at recovery) or the new manifest over fully written new
+files.  Recovery is best-effort per shard, like
+:meth:`CheckpointManager.recover`: a corrupt shard file costs only that
+shard's learned state.
+
+Because placement is a pure function of the domain name
+(:class:`~repro.core.kernel.sharding.ShardRouter`), restoring routes
+every domain through the live service and therefore lands it on the
+correct shard even when the manifest was written with a *different*
+shard count - per-shard checkpoints double as a resharding path.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+
+from repro.core.errors import PersistenceError
+
+#: bumped whenever the manifest layout changes incompatibly
+MANIFEST_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def shard_file_name(shard_id: int) -> str:
+    return f"shard-{shard_id:04d}.json"
+
+
+class ShardView:
+    """The slice of the service-persistence protocol for one shard.
+
+    Exposes exactly what :func:`~repro.core.persistence.snapshot_service`
+    and :func:`~repro.core.persistence.restore_service` need -
+    ``domain_names`` restricted to the shard, everything else delegated
+    to the owning service so creation re-routes through the router.
+    """
+
+    def __init__(self, service, shard_id: int) -> None:
+        self._service = service
+        self.shard_id = shard_id
+
+    @property
+    def config(self):
+        return self._service.config
+
+    @property
+    def tracer(self):
+        return self._service.tracer
+
+    def domain_names(self) -> tuple[str, ...]:
+        return self._service.shard(self.shard_id).domain_names()
+
+    def domain(self, name: str):
+        return self._service.domain(name)
+
+    def has_domain(self, name: str) -> bool:
+        return self._service.has_domain(name)
+
+    def remove_domain(self, name: str) -> None:
+        self._service.remove_domain(name)
+
+    def create_domain(self, name: str, config=None,
+                      model: str = "perceptron", policy=None):
+        return self._service.create_domain(
+            name, config=config, model=model, policy=policy
+        )
+
+
+class ShardedCheckpointManager:
+    """Periodic per-shard checkpoints plus best-effort recovery.
+
+    The sharded counterpart of :class:`~repro.core.persistence
+    .CheckpointManager`: :meth:`tick` counts service operations and, on
+    interval boundaries, checkpoints only the shards whose state
+    actually changed (tracked via :meth:`Shard.dirty_signature`), then
+    rewrites the manifest.  :meth:`recover` restores every shard file
+    the manifest vouches for, skipping - never raising on - corrupt or
+    missing ones.
+
+    A :class:`~repro.core.faults.FaultInjector` may be attached to
+    corrupt checkpoint bytes on their way to disk, exercising the
+    detect-don't-trust path per shard.
+    """
+
+    def __init__(self, service, directory: str | Path,
+                 interval: int = 256,
+                 include_stats: bool = True,
+                 injector=None,
+                 tracer=None) -> None:
+        # Deferred import: persistence imports the service facade, which
+        # imports the kernel package this module belongs to.
+        from repro.core.persistence import CheckpointManager
+
+        if interval < 1:
+            raise PersistenceError(
+                f"checkpoint interval must be positive, got {interval}"
+            )
+        self.service = service
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.interval = interval
+        self.include_stats = include_stats
+        self.tracer = tracer if tracer is not None else getattr(
+            service, "tracer", None
+        )
+        self._managers = [
+            CheckpointManager(
+                ShardView(service, shard.shard_id),
+                self.directory / shard_file_name(shard.shard_id),
+                interval=interval,
+                include_stats=include_stats,
+                injector=injector,
+                tracer=self.tracer,
+            )
+            for shard in service.shards
+        ]
+        #: last-checkpointed dirty signature per shard (None = never)
+        self._written_signatures: list[tuple | None] = \
+            [None] * service.num_shards
+        self.ticks = 0
+        self.checkpoints_written = 0
+        self.corrupt_detected = 0
+        self.last_error: str | None = None
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    # -- writing -----------------------------------------------------------
+
+    def tick(self, count: int = 1) -> bool:
+        """Record ``count`` operations; checkpoint on interval boundaries.
+
+        Returns True when this tick triggered a checkpoint (of however
+        many shards were dirty).
+        """
+        before = self.ticks // self.interval
+        self.ticks += count
+        if self.ticks // self.interval == before:
+            return False
+        self.checkpoint()
+        return True
+
+    def checkpoint_shard(self, shard_id: int) -> None:
+        """Unconditionally checkpoint one shard and refresh the manifest."""
+        self._managers[shard_id].checkpoint()
+        self._written_signatures[shard_id] = \
+            self.service.shard(shard_id).dirty_signature()
+        self.checkpoints_written += 1
+        self._write_manifest()
+
+    def checkpoint(self) -> int:
+        """Checkpoint every dirty shard; returns how many were written.
+
+        A shard is dirty when its :meth:`~repro.core.kernel.shard.Shard
+        .dirty_signature` moved since its last checkpoint - cold shards
+        cost nothing, which is the point of sharded state.
+        """
+        written = 0
+        for shard in self.service.shards:
+            signature = shard.dirty_signature()
+            if signature == self._written_signatures[shard.shard_id]:
+                continue
+            self._managers[shard.shard_id].checkpoint()
+            self._written_signatures[shard.shard_id] = signature
+            written += 1
+        if written:
+            self.checkpoints_written += written
+            self._write_manifest()
+        return written
+
+    def _write_manifest(self) -> None:
+        shards = {}
+        for shard in self.service.shards:
+            path = self.directory / shard_file_name(shard.shard_id)
+            if not path.exists():
+                continue
+            text = path.read_text()
+            shards[str(shard.shard_id)] = {
+                "file": path.name,
+                "checksum": zlib.crc32(text.encode("utf-8")),
+                "domains": len(shard),
+            }
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "num_shards": self.service.num_shards,
+            "shards": shards,
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        try:
+            tmp.write_text(json.dumps(manifest, indent=1))
+            tmp.replace(self.manifest_path)
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot write manifest: {exc}"
+            ) from exc
+
+    # -- recovery ----------------------------------------------------------
+
+    def read_manifest(self) -> dict | None:
+        """The manifest dict, or None when missing/corrupt (recorded)."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            self.corrupt_detected += 1
+            self.last_error = f"corrupt manifest: {exc}"
+            return None
+        if not isinstance(manifest, dict) \
+                or manifest.get("version") != MANIFEST_VERSION:
+            self.corrupt_detected += 1
+            self.last_error = (
+                f"unsupported manifest version "
+                f"{manifest.get('version') if isinstance(manifest, dict) else manifest!r}"
+            )
+            return None
+        return manifest
+
+    def recover(self) -> int:
+        """Restore every recoverable shard; returns how many restored.
+
+        A missing manifest is a clean cold start (0).  Each shard file
+        is validated twice - against the manifest's whole-file CRC and
+        against the snapshot's embedded domain checksum - and skipped,
+        with ``corrupt_detected``/``last_error`` updated, when either
+        fails.  A manifest written with a different shard count still
+        restores: domains re-route through the live service's router.
+        """
+        from repro.core.persistence import CheckpointManager
+
+        manifest = self.read_manifest()
+        if manifest is None:
+            return 0
+        restored = 0
+        for entry in manifest.get("shards", {}).values():
+            path = self.directory / entry["file"]
+            if not path.exists():
+                self.corrupt_detected += 1
+                self.last_error = f"missing shard file {entry['file']}"
+                continue
+            text = path.read_text()
+            if zlib.crc32(text.encode("utf-8")) != entry.get("checksum"):
+                self.corrupt_detected += 1
+                self.last_error = (
+                    f"manifest checksum mismatch for {entry['file']}"
+                )
+                continue
+            # Restore through shard 0's view: creation re-routes every
+            # domain by name, so the view's shard does not constrain
+            # where restored domains land.
+            manager = CheckpointManager(
+                ShardView(self.service, 0), path,
+                interval=self.interval,
+                include_stats=self.include_stats,
+                tracer=self.tracer,
+            )
+            if manager.recover():
+                restored += 1
+            else:
+                self.corrupt_detected += manager.corrupt_detected
+                if manager.last_error:
+                    self.last_error = manager.last_error
+        return restored

@@ -1,0 +1,166 @@
+"""Domains and policy-checked handles: the kernel's innermost layer.
+
+A :class:`Domain` is one named predictor (model + config + policy +
+stats); a :class:`DomainHandle` is the policy- and admission-checked
+view of a domain that transports dispatch into.  Both moved here
+verbatim from the pre-kernel ``core/service.py`` monolith; the only
+additions are the shard identity a :class:`~repro.core.kernel.service
+.ShardedService` stamps on each domain and the optional admission
+charge on the handle's client-facing operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.config import PSSConfig
+from repro.core.models import PredictorModel
+from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
+from repro.core.stats import DomainReport, PredictionStats
+
+if TYPE_CHECKING:
+    from repro.core.kernel.admission import AdmissionController
+
+
+@dataclass
+class Domain:
+    """One named predictor hosted by the service."""
+
+    name: str
+    config: PSSConfig
+    model: PredictorModel
+    model_name: str
+    policy: DomainPolicy = field(default_factory=open_policy)
+    stats: PredictionStats = field(default_factory=PredictionStats)
+    #: weight-generation offset: bumped per mutation for models that do
+    #: not track their own generation, and once per restore that swaps
+    #: learned state in (see :attr:`generation`)
+    generation_offset: int = 0
+    #: shard owning this domain (0 on single-shard services)
+    shard_id: int = 0
+    #: obs label for the owning shard; empty on single-shard services so
+    #: traces and metrics stay byte-identical to the pre-kernel monolith
+    shard_label: str = ""
+    #: identity charged for this domain by admission control, if any
+    created_by: ClientIdentity | None = None
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter that changes whenever the weights may have.
+
+        Read-only fast paths (the vDSO transport's score cache) treat a
+        cached score as current exactly while this value is unchanged -
+        the paper's vDSO semantics, where the mapping exposes the
+        kernel's latest published weight version.  Models that track
+        their own mutation counter (the hashed perceptron) contribute it
+        directly, so feedback the margin rule discarded does not
+        invalidate anything; other models are bumped per update/reset.
+        """
+        model_generation = getattr(self.model, "generation", None)
+        if model_generation is None:
+            return self.generation_offset
+        return self.generation_offset + model_generation
+
+    def predict(self, features: Sequence[int]) -> int:
+        score = self.model.predict(features)
+        self.stats.record_prediction(score, self.config.threshold)
+        return score
+
+    def record_cached_prediction(self, score: int) -> None:
+        """Account a prediction a client served from its score cache."""
+        self.stats.record_cached_prediction(score, self.config.threshold)
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        self.model.update(features, direction)
+        if getattr(self.model, "generation", None) is None:
+            self.generation_offset += 1
+        self.stats.record_update(direction)
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None:
+        self.model.reset(features, reset_all)
+        if getattr(self.model, "generation", None) is None:
+            self.generation_offset += 1
+        self.stats.record_reset()
+
+    def report(self) -> DomainReport:
+        weights = getattr(self.model, "weights", None)
+        return DomainReport(
+            name=self.name, model=self.model_name, stats=self.stats,
+            generation=self.generation,
+            shard=self.shard_id,
+            index_cache_hits=getattr(weights, "index_cache_hits", 0),
+            index_cache_misses=getattr(weights, "index_cache_misses", 0),
+        )
+
+
+class DomainHandle:
+    """Policy- and admission-checked view of a domain for one identity.
+
+    This is the object transports call into; it is what the kernel-side
+    of the vDSO/syscall boundary would dispatch to.  ``admission`` is
+    the owning service's :class:`AdmissionController` (or None): every
+    client-facing prediction and delivered update record is charged to
+    the handle's identity, after the policy check.
+    """
+
+    def __init__(self, domain: Domain, identity: ClientIdentity,
+                 admission: "AdmissionController | None" = None) -> None:
+        self._domain = domain
+        self._identity = identity
+        self._admission = admission
+
+    @property
+    def domain_name(self) -> str:
+        return self._domain.name
+
+    @property
+    def identity(self) -> ClientIdentity:
+        return self._identity
+
+    @property
+    def threshold(self) -> int:
+        return self._domain.config.threshold
+
+    @property
+    def shard_id(self) -> int:
+        """Shard owning the underlying domain."""
+        return self._domain.shard_id
+
+    @property
+    def shard_label(self) -> str:
+        """Obs label for the owning shard ("" on single-shard services)."""
+        return self._domain.shard_label
+
+    @property
+    def generation(self) -> int:
+        """The domain's weight-generation counter (read-only, no policy).
+
+        Mirrors reading a version word out of the vDSO page: transports
+        poll it to decide whether their cached scores are still current.
+        """
+        return self._domain.generation
+
+    def predict(self, features: Sequence[int]) -> int:
+        self._domain.policy.check_predict(self._identity, self._domain.name)
+        if self._admission is not None:
+            self._admission.charge_predict(self._identity)
+        return self._domain.predict(features)
+
+    def record_cached_prediction(self, score: int) -> None:
+        """Account a cache-served prediction, with the same policy and
+        admission checks a real predict would have passed."""
+        self._domain.policy.check_predict(self._identity, self._domain.name)
+        if self._admission is not None:
+            self._admission.charge_predict(self._identity)
+        self._domain.record_cached_prediction(score)
+
+    def update(self, features: Sequence[int], direction: bool) -> None:
+        self._domain.policy.check_update(self._identity, self._domain.name)
+        if self._admission is not None:
+            self._admission.charge_update(self._identity)
+        self._domain.update(features, direction)
+
+    def reset(self, features: Sequence[int], reset_all: bool) -> None:
+        self._domain.policy.check_reset(self._identity, self._domain.name)
+        self._domain.reset(features, reset_all)

@@ -1,0 +1,331 @@
+"""The sharded, multi-tenant service kernel.
+
+:class:`ShardedService` is the kernel the :class:`~repro.core.service
+.PredictionService` facade wraps: it places every domain on one of
+``num_shards`` shards via stable hashing (:class:`~repro.core.kernel
+.sharding.ShardRouter`), keeps per-shard stats and latency accounting
+(:class:`~repro.core.kernel.shard.Shard`), and runs every client-facing
+entry point through an optional :class:`~repro.core.kernel.admission
+.AdmissionController` enforcing per-tenant quotas.
+
+Single-shard mode is bit-identical to the pre-kernel monolith: with
+``num_shards=1`` and no admission controller, every score, stat,
+generation counter, and snapshot matches the old ``PredictionService``
+exactly (property-tested against the frozen reference implementation in
+``tests/core/reference_impl.py``).  Sharding is transparent to clients:
+placement only decides which shard's bookkeeping a domain lands in, so
+an N-shard service is behaviourally identical to a 1-shard one - what
+it buys is independently checkpointable state slices and per-shard
+observability.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import PSSConfig, ServiceConfig
+from repro.core.errors import DomainError
+from repro.core.kernel.admission import AdmissionController
+from repro.core.kernel.domain import Domain, DomainHandle
+from repro.core.kernel.shard import Shard
+from repro.core.kernel.sharding import ShardRouter
+from repro.core.models import create_model, ensure_builtin_models
+from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
+from repro.core.stats import DomainReport, ResilienceStats
+from repro.obs.trace import NULL_TRACER
+
+
+class ShardedService:
+    """Container and dispatcher for prediction domains, in N shards.
+
+    Passing a :class:`repro.obs.Tracer` and/or
+    :class:`repro.obs.MetricsRegistry` turns on white-box observability:
+    every client opened through :meth:`connect` is wired to them, and
+    :meth:`reports` aggregates latency histogram percentiles and
+    resilient-client stats per domain.  On multi-shard services every
+    trace event and metric series additionally carries a ``shard``
+    label.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 tracer=None, metrics=None,
+                 num_shards: int = 1,
+                 admission: AdmissionController | None = None) -> None:
+        ensure_builtin_models()
+        self.config = config or ServiceConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.admission = admission
+        self._router = ShardRouter(num_shards)
+        self._shards = [Shard(i) for i in range(num_shards)]
+        #: per-domain aggregate resilient-client stats (shared by every
+        #: resilient client connect() opens on that domain)
+        self._resilience_stats: dict[str, ResilienceStats] = {}
+
+    # -- shard topology ----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self._router.num_shards
+
+    @property
+    def shards(self) -> tuple[Shard, ...]:
+        return tuple(self._shards)
+
+    def shard(self, shard_id: int) -> Shard:
+        try:
+            return self._shards[shard_id]
+        except IndexError:
+            raise DomainError(
+                f"unknown shard {shard_id} "
+                f"(service has {self.num_shards})"
+            ) from None
+
+    def shard_of(self, name: str) -> int:
+        """The shard id that owns (or would own) domain ``name``."""
+        return self._router.shard_of(name)
+
+    def _domain_count(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    # -- domain management -------------------------------------------------
+
+    def create_domain(self, name: str,
+                      config: PSSConfig | None = None,
+                      model: str = "perceptron",
+                      policy: DomainPolicy | None = None,
+                      identity: ClientIdentity | None = None) -> Domain:
+        """Register a new prediction domain on its owning shard.
+
+        ``identity`` is the tenant charged by admission control; direct
+        kernel-side callers (tests, persistence restore) pass None and
+        are never charged.
+
+        Raises:
+            DomainError: if the name is taken or the service is full.
+            QuotaExceededError: if the identity's domain quota is spent.
+        """
+        shard = self._shards[self._router.shard_of(name)]
+        if name in shard:
+            raise DomainError(f"domain {name!r} already exists")
+        if self._domain_count() >= self.config.max_domains:
+            raise DomainError(
+                f"service is full ({self.config.max_domains} domains)"
+            )
+        if self.admission is not None and identity is not None:
+            self.admission.admit_domain(identity, name)
+        domain_config = config or PSSConfig()
+        domain = Domain(
+            name=name,
+            config=domain_config,
+            model=create_model(model, domain_config),
+            model_name=model,
+            policy=policy or open_policy(),
+            shard_id=shard.shard_id,
+            shard_label=(str(shard.shard_id)
+                         if self.num_shards > 1 else ""),
+            created_by=identity,
+        )
+        shard.domains[name] = domain
+        return domain
+
+    def domain(self, name: str) -> Domain:
+        try:
+            return self._shards[self._router.shard_of(name)].domains[name]
+        except KeyError:
+            raise DomainError(f"unknown domain {name!r}") from None
+
+    def has_domain(self, name: str) -> bool:
+        return name in self._shards[self._router.shard_of(name)]
+
+    def remove_domain(self, name: str) -> None:
+        shard = self._shards[self._router.shard_of(name)]
+        domain = shard.domains.pop(name, None)
+        if domain is None:
+            raise DomainError(f"unknown domain {name!r}")
+        if self.admission is not None and domain.created_by is not None:
+            self.admission.release_domain(domain.created_by)
+
+    def domain_names(self) -> tuple[str, ...]:
+        return tuple(sorted(
+            name for shard in self._shards for name in shard.domains
+        ))
+
+    def _resolve(self, name: str, config: PSSConfig | None,
+                 model: str,
+                 identity: ClientIdentity | None = None) -> Domain:
+        """Find a domain, creating it implicitly when configured to."""
+        shard = self._shards[self._router.shard_of(name)]
+        domain = shard.domains.get(name)
+        if domain is not None:
+            return domain
+        if not self.config.implicit_domains:
+            raise DomainError(f"unknown domain {name!r}")
+        return self.create_domain(name, config=config, model=model,
+                                  identity=identity)
+
+    # -- client access -----------------------------------------------------
+
+    def handle(self, name: str,
+               identity: ClientIdentity | None = None,
+               config: PSSConfig | None = None,
+               model: str = "perceptron") -> DomainHandle:
+        """Policy-checked handle on a (possibly implicitly created) domain."""
+        who = identity or ClientIdentity()
+        domain = self._resolve(name, config, model, identity=who)
+        return DomainHandle(domain, who, admission=self.admission)
+
+    def connect(self, name: str,
+                identity: ClientIdentity | None = None,
+                transport: str = "vdso",
+                config: PSSConfig | None = None,
+                model: str = "perceptron",
+                batch_size: int | None = None,
+                resilience=None,
+                fallback=None,
+                fault_plan=None):
+        """Open a :class:`repro.core.client.PSSClient` on a domain.
+
+        This is the normal entry point for applications: it wires the
+        policy-checked handle through the requested transport (vDSO by
+        default, matching the paper's deployment).
+
+        Passing ``resilience`` (a :class:`~repro.core.config
+        .ResilienceConfig`) or ``fallback`` (a static fallback score or
+        ``features -> score`` callable) upgrades the client to a
+        :class:`~repro.core.client.ResilientClient` with retry/backoff,
+        a circuit breaker, and degraded-mode fallbacks.  ``fault_plan``
+        (a :class:`~repro.core.faults.FaultPlan` or ready-made
+        :class:`~repro.core.faults.FaultInjector`) attaches fault
+        injection to the client's transport - combine both to exercise
+        graceful degradation, or inject without resilience to observe
+        raw :class:`~repro.core.errors.TransportFault` propagation.
+        """
+        # Local import: client builds on service, not the other way around.
+        from repro.core.client import PSSClient, ResilientClient
+        from repro.core.faults import FaultInjector, FaultPlan
+
+        who = identity or ClientIdentity()
+        domain = self._resolve(name, config, model, identity=who)
+        handle = DomainHandle(domain, who, admission=self.admission)
+        effective_batch = (batch_size if batch_size is not None
+                           else domain.config.update_batch_size)
+        if resilience is not None or fallback is not None:
+            shared_stats = self._resilience_stats.setdefault(
+                name, ResilienceStats()
+            )
+            client = ResilientClient(
+                handle,
+                transport_kind=transport,
+                latency=self.config.latency,
+                batch_size=effective_batch,
+                resilience=resilience,
+                fallback=0 if fallback is None else fallback,
+                stats=shared_stats,
+            )
+        else:
+            client = PSSClient(
+                handle,
+                transport_kind=transport,
+                latency=self.config.latency,
+                batch_size=effective_batch,
+            )
+        self._shards[domain.shard_id].register_account(client.latency)
+        if self.tracer.enabled or self.metrics is not None:
+            client.attach_observability(
+                tracer=self.tracer if self.tracer.enabled else None,
+                metrics=self.metrics,
+            )
+        if fault_plan is not None:
+            injector = (fault_plan if isinstance(fault_plan, FaultInjector)
+                        else FaultInjector(FaultPlan(**fault_plan)
+                                           if isinstance(fault_plan, dict)
+                                           else fault_plan))
+            client.attach_fault_injector(injector)
+        return client
+
+    # -- paper-signature convenience (kernel-internal callers) --------------
+
+    def predict(self, name: str, features: Sequence[int]) -> int:
+        """Direct in-kernel predict; no transport latency is charged."""
+        return self.domain(name).predict(features)
+
+    def update(self, name: str, features: Sequence[int],
+               direction: bool) -> None:
+        """Direct in-kernel update."""
+        self.domain(name).update(features, direction)
+
+    def reset(self, name: str, features: Sequence[int],
+              reset_all: bool = False) -> None:
+        """Direct in-kernel reset."""
+        self.domain(name).reset(features, reset_all)
+
+    # -- introspection -------------------------------------------------------
+
+    def reports(self) -> list[DomainReport]:
+        """Per-domain activity reports, sorted by domain name.
+
+        When the service carries a metrics registry, each report also
+        gets latency-histogram percentile summaries (vDSO reads and
+        syscalls, merged across every transport that served the domain);
+        domains that ever had a resilient client attached additionally
+        carry the aggregated :class:`ResilienceStats`.
+        """
+        reports = []
+        for name in self.domain_names():
+            report = self.domain(name).report()
+            resilience = self._resilience_stats.get(name)
+            if resilience is not None and resilience.any_activity:
+                report.resilience = resilience
+            if self.metrics is not None:
+                for path, metric in (("vdso_read_ns",
+                                      "pss_vdso_read_ns"),
+                                     ("syscall_ns", "pss_syscall_ns")):
+                    merged = self.metrics.merged_histogram(
+                        metric, domain=name
+                    )
+                    if merged.count:
+                        report.latency_percentiles[path] = \
+                            merged.snapshot()
+            reports.append(report)
+        return reports
+
+    def shard_summaries(self) -> list[dict]:
+        """Per-shard load view for shard-scaling reports.
+
+        One dict per shard: domain count, aggregate prediction/update
+        volume, the merged boundary-crossing account, and - when the
+        service carries a metrics registry - vDSO/syscall latency
+        percentile snapshots merged over the shard's domains.
+        """
+        summaries = []
+        for shard in self._shards:
+            stats = shard.merged_stats()
+            latency = shard.merged_latency()
+            summary = {
+                "shard": shard.shard_id,
+                "domains": len(shard),
+                "domain_names": shard.domain_names(),
+                "predictions": stats.predictions,
+                "updates": stats.updates,
+                "latency": latency,
+                "latency_percentiles": {},
+            }
+            if self.metrics is not None and shard.domains:
+                for path, metric in (("vdso_read_ns",
+                                      "pss_vdso_read_ns"),
+                                     ("syscall_ns", "pss_syscall_ns")):
+                    merged = None
+                    for name in shard.domain_names():
+                        part = self.metrics.merged_histogram(
+                            metric, domain=name
+                        )
+                        if merged is None:
+                            merged = part
+                        else:
+                            merged.merge(part)
+                    if merged is not None and merged.count:
+                        summary["latency_percentiles"][path] = \
+                            merged.snapshot()
+            summaries.append(summary)
+        return summaries

@@ -1,0 +1,70 @@
+"""One shard of the service kernel: a slice of the domain space.
+
+A :class:`Shard` owns the domains the :class:`~repro.core.kernel
+.sharding.ShardRouter` placed on it plus the per-shard accounting the
+sharded-state serving literature argues for: aggregate
+:class:`~repro.core.stats.PredictionStats` and a merged
+:class:`~repro.core.stats.LatencyAccount` over every client the shard
+served, so tail latency and load skew are observable per shard rather
+than only per domain.  Each shard's state is independently
+checkpointable (see :mod:`repro.core.kernel.checkpoint`).
+"""
+
+from __future__ import annotations
+
+from repro.core.kernel.domain import Domain
+from repro.core.stats import LatencyAccount, PredictionStats
+
+
+class Shard:
+    """Container for the domains and accounting of one shard."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.domains: dict[str, Domain] = {}
+        #: latency accounts of every client transport opened on this
+        #: shard's domains (shared objects, merged on demand)
+        self._accounts: list[LatencyAccount] = []
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.domains
+
+    def domain_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.domains))
+
+    def register_account(self, account: LatencyAccount) -> None:
+        """Track one client transport's latency account for shard
+        reporting (the account object stays owned by the transport)."""
+        self._accounts.append(account)
+
+    def merged_stats(self) -> PredictionStats:
+        """Aggregate prediction stats across this shard's domains."""
+        total = PredictionStats()
+        for domain in self.domains.values():
+            total.merge(domain.stats)
+        return total
+
+    def merged_latency(self) -> LatencyAccount:
+        """Aggregate boundary-crossing account across this shard's
+        clients (zeros when no client ever connected)."""
+        total = LatencyAccount()
+        for account in self._accounts:
+            total.merge(account)
+        return total
+
+    def dirty_signature(self) -> tuple:
+        """Cheap change detector for incremental checkpointing.
+
+        Changes whenever any hosted domain's weights or stats may have:
+        the set of domains, each domain's generation, and its activity
+        counters.  Two equal signatures mean a checkpoint written at the
+        first is still current at the second.
+        """
+        return tuple(
+            (name, domain.generation, domain.stats.predictions,
+             domain.stats.updates, domain.stats.resets)
+            for name, domain in sorted(self.domains.items())
+        )

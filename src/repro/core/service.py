@@ -1,11 +1,20 @@
-"""The Prediction System Service itself.
+"""The Prediction System Service: the API-compatible kernel facade.
 
-A :class:`PredictionService` plays the role of the in-kernel service: it owns
-named *prediction domains*, each with its own model, configuration, policy,
-and statistics.  Applications reach a domain through a
-:class:`DomainHandle` (policy-checked) wrapped in a transport, normally via
-:meth:`PredictionService.connect` which returns a ready-to-use
-:class:`repro.core.client.PSSClient`.
+Historically this module *was* the service - one monolithic class
+owning a flat dict of domains.  The implementation now lives in the
+layered :mod:`repro.core.kernel` package (shards, stable-hash routing,
+admission control, per-shard checkpoints); what remains here is the
+thin facade every existing caller programs against:
+
+* :class:`PredictionService` - a :class:`~repro.core.kernel.service
+  .ShardedService` that defaults to one shard and no admission
+  controller, which is *bit-identical* to the pre-kernel monolith
+  (property-tested against ``tests/core/reference_impl.py``).  Pass
+  ``num_shards``/``admission`` to opt into the kernel's multi-tenant
+  features without changing any call site.
+* :class:`Domain` / :class:`DomainHandle` - re-exported from the
+  kernel so historical imports (persistence, transports, tests) keep
+  working unchanged.
 
 The service API intentionally reduces to the paper's three calls::
 
@@ -14,147 +23,29 @@ The service API intentionally reduces to the paper's three calls::
     void reset(int* features, int len, bool all)
 
 with the domain name standing in for whatever addressing a real kernel
-implementation would use (the paper's prototype exposes a single implicit
-domain per registration).
+implementation would use (the paper's prototype exposes a single
+implicit domain per registration).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from repro.core.config import ServiceConfig
+from repro.core.kernel.admission import AdmissionController
+from repro.core.kernel.domain import Domain, DomainHandle
+from repro.core.kernel.service import ShardedService
 
-from repro.core.config import PSSConfig, ServiceConfig
-from repro.core.errors import DomainError
-from repro.core.models import (
-    PredictorModel,
-    create_model,
-    ensure_builtin_models,
-)
-from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
-from repro.core.stats import (
-    DomainReport,
-    PredictionStats,
-    ResilienceStats,
-)
-from repro.obs.trace import NULL_TRACER
+__all__ = ["Domain", "DomainHandle", "PredictionService"]
 
 
-@dataclass
-class Domain:
-    """One named predictor hosted by the service."""
-
-    name: str
-    config: PSSConfig
-    model: PredictorModel
-    model_name: str
-    policy: DomainPolicy = field(default_factory=open_policy)
-    stats: PredictionStats = field(default_factory=PredictionStats)
-    #: weight-generation offset: bumped per mutation for models that do
-    #: not track their own generation, and once per restore that swaps
-    #: learned state in (see :attr:`generation`)
-    generation_offset: int = 0
-
-    @property
-    def generation(self) -> int:
-        """Monotonic counter that changes whenever the weights may have.
-
-        Read-only fast paths (the vDSO transport's score cache) treat a
-        cached score as current exactly while this value is unchanged -
-        the paper's vDSO semantics, where the mapping exposes the
-        kernel's latest published weight version.  Models that track
-        their own mutation counter (the hashed perceptron) contribute it
-        directly, so feedback the margin rule discarded does not
-        invalidate anything; other models are bumped per update/reset.
-        """
-        model_generation = getattr(self.model, "generation", None)
-        if model_generation is None:
-            return self.generation_offset
-        return self.generation_offset + model_generation
-
-    def predict(self, features: Sequence[int]) -> int:
-        score = self.model.predict(features)
-        self.stats.record_prediction(score, self.config.threshold)
-        return score
-
-    def record_cached_prediction(self, score: int) -> None:
-        """Account a prediction a client served from its score cache."""
-        self.stats.record_cached_prediction(score, self.config.threshold)
-
-    def update(self, features: Sequence[int], direction: bool) -> None:
-        self.model.update(features, direction)
-        if getattr(self.model, "generation", None) is None:
-            self.generation_offset += 1
-        self.stats.record_update(direction)
-
-    def reset(self, features: Sequence[int], reset_all: bool) -> None:
-        self.model.reset(features, reset_all)
-        if getattr(self.model, "generation", None) is None:
-            self.generation_offset += 1
-        self.stats.record_reset()
-
-    def report(self) -> DomainReport:
-        weights = getattr(self.model, "weights", None)
-        return DomainReport(
-            name=self.name, model=self.model_name, stats=self.stats,
-            generation=self.generation,
-            index_cache_hits=getattr(weights, "index_cache_hits", 0),
-            index_cache_misses=getattr(weights, "index_cache_misses", 0),
-        )
-
-
-class DomainHandle:
-    """Policy-checked view of a domain for one client identity.
-
-    This is the object transports call into; it is what the kernel-side of
-    the vDSO/syscall boundary would dispatch to.
-    """
-
-    def __init__(self, domain: Domain, identity: ClientIdentity) -> None:
-        self._domain = domain
-        self._identity = identity
-
-    @property
-    def domain_name(self) -> str:
-        return self._domain.name
-
-    @property
-    def identity(self) -> ClientIdentity:
-        return self._identity
-
-    @property
-    def threshold(self) -> int:
-        return self._domain.config.threshold
-
-    @property
-    def generation(self) -> int:
-        """The domain's weight-generation counter (read-only, no policy).
-
-        Mirrors reading a version word out of the vDSO page: transports
-        poll it to decide whether their cached scores are still current.
-        """
-        return self._domain.generation
-
-    def predict(self, features: Sequence[int]) -> int:
-        self._domain.policy.check_predict(self._identity, self._domain.name)
-        return self._domain.predict(features)
-
-    def record_cached_prediction(self, score: int) -> None:
-        """Account a cache-served prediction, with the same policy check
-        a real predict would have passed."""
-        self._domain.policy.check_predict(self._identity, self._domain.name)
-        self._domain.record_cached_prediction(score)
-
-    def update(self, features: Sequence[int], direction: bool) -> None:
-        self._domain.policy.check_update(self._identity, self._domain.name)
-        self._domain.update(features, direction)
-
-    def reset(self, features: Sequence[int], reset_all: bool) -> None:
-        self._domain.policy.check_reset(self._identity, self._domain.name)
-        self._domain.reset(features, reset_all)
-
-
-class PredictionService:
+class PredictionService(ShardedService):
     """Container and dispatcher for prediction domains.
+
+    The paper-shaped entry point: single shard, open admission, the
+    same constructor signature the monolith had.  ``num_shards`` and
+    ``admission`` are keyword-only opt-ins to the sharded multi-tenant
+    kernel; with the defaults, behaviour (scores, stats, generations,
+    snapshots, traces, metrics) is bit-identical to the pre-kernel
+    service.
 
     Passing a :class:`repro.obs.Tracer` and/or
     :class:`repro.obs.MetricsRegistry` turns on white-box observability:
@@ -164,189 +55,8 @@ class PredictionService:
     """
 
     def __init__(self, config: ServiceConfig | None = None,
-                 tracer=None, metrics=None) -> None:
-        ensure_builtin_models()
-        self.config = config or ServiceConfig()
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.metrics = metrics
-        self._domains: dict[str, Domain] = {}
-        #: per-domain aggregate resilient-client stats (shared by every
-        #: resilient client connect() opens on that domain)
-        self._resilience_stats: dict[str, ResilienceStats] = {}
-
-    # -- domain management -------------------------------------------------
-
-    def create_domain(self, name: str,
-                      config: PSSConfig | None = None,
-                      model: str = "perceptron",
-                      policy: DomainPolicy | None = None) -> Domain:
-        """Register a new prediction domain.
-
-        Raises:
-            DomainError: if the name is taken or the service is full.
-        """
-        if name in self._domains:
-            raise DomainError(f"domain {name!r} already exists")
-        if len(self._domains) >= self.config.max_domains:
-            raise DomainError(
-                f"service is full ({self.config.max_domains} domains)"
-            )
-        domain_config = config or PSSConfig()
-        domain = Domain(
-            name=name,
-            config=domain_config,
-            model=create_model(model, domain_config),
-            model_name=model,
-            policy=policy or open_policy(),
-        )
-        self._domains[name] = domain
-        return domain
-
-    def domain(self, name: str) -> Domain:
-        try:
-            return self._domains[name]
-        except KeyError:
-            raise DomainError(f"unknown domain {name!r}") from None
-
-    def has_domain(self, name: str) -> bool:
-        return name in self._domains
-
-    def remove_domain(self, name: str) -> None:
-        if name not in self._domains:
-            raise DomainError(f"unknown domain {name!r}")
-        del self._domains[name]
-
-    def domain_names(self) -> tuple[str, ...]:
-        return tuple(sorted(self._domains))
-
-    def _resolve(self, name: str, config: PSSConfig | None,
-                 model: str) -> Domain:
-        """Find a domain, creating it implicitly when configured to."""
-        if name in self._domains:
-            return self._domains[name]
-        if not self.config.implicit_domains:
-            raise DomainError(f"unknown domain {name!r}")
-        return self.create_domain(name, config=config, model=model)
-
-    # -- client access -----------------------------------------------------
-
-    def handle(self, name: str,
-               identity: ClientIdentity | None = None,
-               config: PSSConfig | None = None,
-               model: str = "perceptron") -> DomainHandle:
-        """Policy-checked handle on a (possibly implicitly created) domain."""
-        domain = self._resolve(name, config, model)
-        return DomainHandle(domain, identity or ClientIdentity())
-
-    def connect(self, name: str,
-                identity: ClientIdentity | None = None,
-                transport: str = "vdso",
-                config: PSSConfig | None = None,
-                model: str = "perceptron",
-                batch_size: int | None = None,
-                resilience=None,
-                fallback=None,
-                fault_plan=None):
-        """Open a :class:`repro.core.client.PSSClient` on a domain.
-
-        This is the normal entry point for applications: it wires the
-        policy-checked handle through the requested transport (vDSO by
-        default, matching the paper's deployment).
-
-        Passing ``resilience`` (a :class:`~repro.core.config
-        .ResilienceConfig`) or ``fallback`` (a static fallback score or
-        ``features -> score`` callable) upgrades the client to a
-        :class:`~repro.core.client.ResilientClient` with retry/backoff,
-        a circuit breaker, and degraded-mode fallbacks.  ``fault_plan``
-        (a :class:`~repro.core.faults.FaultPlan` or ready-made
-        :class:`~repro.core.faults.FaultInjector`) attaches fault
-        injection to the client's transport - combine both to exercise
-        graceful degradation, or inject without resilience to observe
-        raw :class:`~repro.core.errors.TransportFault` propagation.
-        """
-        # Local import: client builds on service, not the other way around.
-        from repro.core.client import PSSClient, ResilientClient
-        from repro.core.faults import FaultInjector, FaultPlan
-
-        domain = self._resolve(name, config, model)
-        handle = DomainHandle(domain, identity or ClientIdentity())
-        effective_batch = (batch_size if batch_size is not None
-                           else domain.config.update_batch_size)
-        if resilience is not None or fallback is not None:
-            shared_stats = self._resilience_stats.setdefault(
-                name, ResilienceStats()
-            )
-            client = ResilientClient(
-                handle,
-                transport_kind=transport,
-                latency=self.config.latency,
-                batch_size=effective_batch,
-                resilience=resilience,
-                fallback=0 if fallback is None else fallback,
-                stats=shared_stats,
-            )
-        else:
-            client = PSSClient(
-                handle,
-                transport_kind=transport,
-                latency=self.config.latency,
-                batch_size=effective_batch,
-            )
-        if self.tracer.enabled or self.metrics is not None:
-            client.attach_observability(
-                tracer=self.tracer if self.tracer.enabled else None,
-                metrics=self.metrics,
-            )
-        if fault_plan is not None:
-            injector = (fault_plan if isinstance(fault_plan, FaultInjector)
-                        else FaultInjector(FaultPlan(**fault_plan)
-                                           if isinstance(fault_plan, dict)
-                                           else fault_plan))
-            client.attach_fault_injector(injector)
-        return client
-
-    # -- paper-signature convenience (kernel-internal callers) --------------
-
-    def predict(self, name: str, features: Sequence[int]) -> int:
-        """Direct in-kernel predict; no transport latency is charged."""
-        return self.domain(name).predict(features)
-
-    def update(self, name: str, features: Sequence[int],
-               direction: bool) -> None:
-        """Direct in-kernel update."""
-        self.domain(name).update(features, direction)
-
-    def reset(self, name: str, features: Sequence[int],
-              reset_all: bool = False) -> None:
-        """Direct in-kernel reset."""
-        self.domain(name).reset(features, reset_all)
-
-    # -- introspection -------------------------------------------------------
-
-    def reports(self) -> list[DomainReport]:
-        """Per-domain activity reports, sorted by domain name.
-
-        When the service carries a metrics registry, each report also
-        gets latency-histogram percentile summaries (vDSO reads and
-        syscalls, merged across every transport that served the domain);
-        domains that ever had a resilient client attached additionally
-        carry the aggregated :class:`ResilienceStats`.
-        """
-        reports = []
-        for name in self.domain_names():
-            report = self._domains[name].report()
-            resilience = self._resilience_stats.get(name)
-            if resilience is not None and resilience.any_activity:
-                report.resilience = resilience
-            if self.metrics is not None:
-                for path, metric in (("vdso_read_ns",
-                                      "pss_vdso_read_ns"),
-                                     ("syscall_ns", "pss_syscall_ns")):
-                    merged = self.metrics.merged_histogram(
-                        metric, domain=name
-                    )
-                    if merged.count:
-                        report.latency_percentiles[path] = \
-                            merged.snapshot()
-            reports.append(report)
-        return reports
+                 tracer=None, metrics=None, *,
+                 num_shards: int = 1,
+                 admission: AdmissionController | None = None) -> None:
+        super().__init__(config=config, tracer=tracer, metrics=metrics,
+                         num_shards=num_shards, admission=admission)

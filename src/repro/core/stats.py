@@ -110,15 +110,20 @@ class LatencyAccount:
     _metric_labels = None
 
     def attach_metrics(self, registry, domain: str = "",
-                       transport: str = "") -> None:
+                       transport: str = "", shard: str = "") -> None:
         """Mirror every future charge into ``registry`` histograms.
 
         Creates ``pss_vdso_read_ns`` and ``pss_syscall_ns`` histograms
         labeled ``{domain, transport}`` plus per-operation
         ``pss_op_ns{op=...}`` histograms (resolved lazily per op kind).
+        A ``shard`` label is added only when non-empty, so single-shard
+        services emit byte-identical metric series to the pre-kernel
+        monolith.
         """
         self._metrics = registry
         self._metric_labels = {"domain": domain, "transport": transport}
+        if shard:
+            self._metric_labels["shard"] = shard
         self._hist_vdso = registry.histogram(
             "pss_vdso_read_ns", **self._metric_labels
         )
@@ -276,6 +281,9 @@ class ResilienceStats:
     breaker_opens: int = 0
     breaker_closes: int = 0
     backoff_ns: float = 0.0
+    #: operations the admission layer refused (quota exhausted); served
+    #: degraded immediately - quota errors are never retried
+    quota_rejections: int = 0
 
     @property
     def degraded_fraction(self) -> float:
@@ -291,6 +299,7 @@ class ResilienceStats:
             self.predictions or self.retries or self.transport_failures
             or self.dropped_updates or self.dropped_resets
             or self.breaker_opens or self.breaker_closes
+            or self.quota_rejections
         )
 
     def merge(self, other: "ResilienceStats") -> None:
@@ -304,6 +313,7 @@ class ResilienceStats:
         self.breaker_opens += other.breaker_opens
         self.breaker_closes += other.breaker_closes
         self.backoff_ns += other.backoff_ns
+        self.quota_rejections += other.quota_rejections
 
 
 @dataclass
@@ -316,6 +326,8 @@ class DomainReport:
     latency: LatencyAccount = field(default_factory=LatencyAccount)
     #: weight-generation counter at report time (see Domain.generation)
     generation: int = 0
+    #: shard hosting the domain (0 on single-shard services)
+    shard: int = 0
     #: feature-vector -> selected-indices cache activity (model side)
     index_cache_hits: int = 0
     index_cache_misses: int = 0

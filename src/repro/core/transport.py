@@ -24,6 +24,7 @@ from typing import Protocol, Sequence
 
 from repro.core.config import LatencyModel
 from repro.core.errors import (
+    AdmissionError,
     TransportClosedError,
     TransportError,
     TransportFault,
@@ -62,6 +63,9 @@ class Transport:
         #: single ``enabled`` attribute check when tracing is off
         self._tracer = NULL_TRACER
         self._obs_domain = getattr(target, "domain_name", "")
+        # Empty on single-shard services, so their traces and metric
+        # series stay byte-identical to the pre-kernel monolith.
+        self._obs_shard = getattr(target, "shard_label", "")
 
     @property
     def latency_model(self) -> LatencyModel:
@@ -95,7 +99,8 @@ class Transport:
                 self._injector.tracer = tracer
         if metrics is not None:
             self.account.attach_metrics(
-                metrics, domain=self._obs_domain, transport=self.name
+                metrics, domain=self._obs_domain, transport=self.name,
+                shard=self._obs_shard,
             )
 
     def attach_injector(self, injector: FaultInjector | None) -> None:
@@ -134,7 +139,7 @@ class Transport:
             kind, domain=self._obs_domain, transport=self.name,
             ts_ns=self.account.total_ns, dur_ns=dur_ns,
             generation=getattr(self._target, "generation", 0),
-            detail=detail,
+            detail=detail, shard=self._obs_shard,
         )
 
     def reset(self, features: Sequence[int], reset_all: bool) -> None:
@@ -414,12 +419,28 @@ class VdsoTransport(Transport):
                     "op": "flush", "errno": fault.errno_name,
                     "lost_records": fault.lost_records,
                 })
-        for features, direction in records[:delivered]:
-            self._target.update(features, direction)
+        quota_error: AdmissionError | None = None
+        for index, (features, direction) in enumerate(records[:delivered]):
+            try:
+                self._target.update(features, direction)
+            except AdmissionError as exc:
+                # Budgets are monotonic: once one record is refused, the
+                # rest of the batch would be too.  The suffix is dropped
+                # and reported on the error like a lost batch.
+                quota_error = exc
+                quota_error.lost_records = delivered - index
+                break
         if fault is not None:
             # The undelivered suffix is gone: updates are hints, and the
             # batch buffer was already drained when the crossing failed.
             raise fault
+        if quota_error is not None:
+            if self._tracer.enabled:
+                self._trace("fault", detail={
+                    "op": "flush", "errno": "EDQUOT",
+                    "lost_records": quota_error.lost_records,
+                })
+            raise quota_error
 
 
 def make_transport(kind: str, target: ServiceTarget,

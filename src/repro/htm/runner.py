@@ -154,7 +154,8 @@ def pss_builder(service: PredictionService | None = None,
                 resilience=None,
                 fallback_score: int = 1,
                 tracer=None,
-                metrics=None) -> PolicyBuilder:
+                metrics=None,
+                identity=None) -> PolicyBuilder:
     """PSS-guided elision (Listing 1 with the gray lines).
 
     Pass an existing ``service`` to carry learned weights across runs
@@ -168,7 +169,9 @@ def pss_builder(service: PredictionService | None = None,
 
     ``tracer``/``metrics`` instrument the implicitly created service
     when no ``service`` is passed (an explicit service carries its own
-    observability).
+    observability).  ``identity`` (a :class:`~repro.core.policy
+    .ClientIdentity`) names the tenant the connection is charged to on
+    admission-controlled services.
     """
 
     def build(machine: HTMMachine) -> ElisionPolicy:
@@ -178,6 +181,7 @@ def pss_builder(service: PredictionService | None = None,
         resilient = fault_plan is not None or resilience is not None
         client = svc.connect(
             domain,
+            identity=identity,
             # Narrow weights and a small margin keep the predictor nimble:
             # HLE conditions change with program phase, so fast swings
             # matter more than long-term confidence.

@@ -113,11 +113,13 @@ class PSSTuner:
                  consult_per_decision: bool = False,
                  batch_size: int = 1,
                  fault_plan=None,
-                 resilience=None) -> None:
+                 resilience=None,
+                 identity=None) -> None:
         self.service = service or PredictionService()
         resilient = fault_plan is not None or resilience is not None
         self.client: PSSClient = self.service.connect(
             domain,
+            identity=identity,
             config=PSSConfig(num_features=4, weight_bits=6,
                              training_margin=6),
             transport=transport,

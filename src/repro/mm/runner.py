@@ -66,15 +66,19 @@ def gorman_fallback(features) -> int:
 def make_pss_throttle(service: PredictionService,
                       domain: str = "reclaim",
                       fault_plan=None,
-                      resilience=None) -> PSSThrottle:
+                      resilience=None,
+                      identity=None) -> PSSThrottle:
     """A PSS throttle bound to (possibly pre-trained) service state.
 
     With ``fault_plan``/``resilience`` the throttle runs on a degradable
     client whose static fallback is :func:`gorman_fallback`.
+    ``identity`` names the tenant to charge on admission-controlled
+    services.
     """
     resilient = fault_plan is not None or resilience is not None
     client = service.connect(
         domain,
+        identity=identity,
         config=PSSConfig(num_features=3, weight_bits=6,
                          training_margin=8),
         transport="vdso",

@@ -41,8 +41,15 @@ def write_jsonl(tracer: Tracer, path: str | Path) -> int:
 
 def _track_name(event: TraceEvent) -> str:
     if event.domain and event.transport:
-        return f"{event.domain}/{event.transport}"
-    return event.domain or event.transport or "pss"
+        base = f"{event.domain}/{event.transport}"
+    else:
+        base = event.domain or event.transport or "pss"
+    # Multi-shard services prefix the owning shard so Perfetto groups
+    # tracks by shard; single-shard events carry no shard label and
+    # render exactly as they did before sharding existed.
+    if event.shard:
+        return f"shard{event.shard}/{base}"
+    return base
 
 
 def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:

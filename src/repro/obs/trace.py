@@ -58,6 +58,10 @@ class TraceEvent(NamedTuple):
     dur_ns: float
     generation: int
     detail: dict[str, Any] | None
+    #: owning shard on multi-shard services; "" (and omitted from
+    #: exports) on single-shard services, keeping their output
+    #: byte-identical to pre-sharding traces
+    shard: str = ""
 
     def as_dict(self) -> dict[str, Any]:
         d = {
@@ -68,6 +72,8 @@ class TraceEvent(NamedTuple):
             "dur_ns": self.dur_ns,
             "generation": self.generation,
         }
+        if self.shard:
+            d["shard"] = self.shard
         if self.detail:
             d["detail"] = self.detail
         return d
@@ -102,14 +108,15 @@ class Tracer:
     def record(self, kind: str, domain: str = "", transport: str = "",
                ts_ns: float | None = None, dur_ns: float = 0.0,
                generation: int = 0,
-               detail: dict[str, Any] | None = None) -> None:
+               detail: dict[str, Any] | None = None,
+               shard: str = "") -> None:
         """Append one event, evicting the oldest when full."""
         self._seq += 1
         if ts_ns is None:
             ts_ns = self.clock() if self.clock is not None else float(
                 self._seq)
         event = TraceEvent(ts_ns, kind, domain, transport, dur_ns,
-                           generation, detail)
+                           generation, detail, shard)
         ring = self._ring
         if len(ring) < self.capacity:
             ring.append(event)
@@ -146,7 +153,8 @@ class NullTracer:
     def record(self, kind: str, domain: str = "", transport: str = "",
                ts_ns: float | None = None, dur_ns: float = 0.0,
                generation: int = 0,
-               detail: dict[str, Any] | None = None) -> None:
+               detail: dict[str, Any] | None = None,
+               shard: str = "") -> None:
         pass
 
     def events(self) -> list[TraceEvent]:

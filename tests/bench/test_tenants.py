@@ -1,0 +1,58 @@
+"""The tenants experiment: determinism and shard-scaling report shape."""
+
+from repro.bench.experiments import tenants
+from repro.bench.experiments.tenants import run_shard_count, run_tenants
+from repro.obs.trace import Tracer
+
+
+class TestDeterminism:
+    def test_same_seed_renders_byte_identical_reports(self):
+        first = run_tenants(seed=7, quick=True).render()
+        second = run_tenants(seed=7, quick=True).render()
+        assert first == second
+
+    def test_tracing_does_not_perturb_the_report(self):
+        plain = run_tenants(seed=7, quick=True).render()
+        traced = run_tenants(seed=7, quick=True, tracer=Tracer()).render()
+        assert traced == plain
+
+    def test_different_seeds_differ(self):
+        assert run_tenants(seed=0, quick=True).render() \
+            != run_tenants(seed=1, quick=True).render()
+
+
+class TestShardScalingReport:
+    def test_four_shard_run_reports_per_shard_load(self):
+        result = run_shard_count(4, seed=0, quick=True)
+        assert result.num_shards == 4
+        summaries = result.shard_summaries
+        assert [s["shard"] for s in summaries] == [0, 1, 2, 3]
+        assert sum(s["domains"] for s in summaries) >= 4
+        assert sum(s["predictions"] for s in summaries) > 0
+        # The vDSO percentile columns come from the always-attached
+        # internal metrics registry.
+        assert any(
+            "vdso_read_ns" in s["latency_percentiles"] for s in summaries
+        )
+
+    def test_every_tenant_appears_with_its_quota(self):
+        result = run_shard_count(4, seed=0, quick=True)
+        tenants_seen = {who.program for who, _u, _q in result.usage_rows}
+        assert tenants_seen == {
+            "htm-elision", "jit-tuner", "mm-reclaim", "scavenger"
+        }
+
+    def test_scavenger_is_quota_limited_not_retried(self):
+        result = run_shard_count(1, seed=0, quick=True)
+        stats = result.scavenger_stats
+        over = tenants.SCAVENGER_ATTEMPTS - tenants.SCAVENGER_BUDGET
+        assert stats.quota_rejections == over
+        assert stats.fallback_predictions == over
+        assert stats.retries == 0
+
+    def test_report_contains_all_tables(self):
+        result = run_tenants(seed=0, quick=True)
+        text = result.render()
+        for heading in ("== 1 shard ==", "== 4 shards ==", "scavenger",
+                        "tenant", "shard"):
+            assert heading in text

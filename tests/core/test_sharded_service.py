@@ -1,0 +1,186 @@
+"""The sharded kernel: routing, per-shard accounting, and checkpoints."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    AdmissionController,
+    ClientIdentity,
+    ConfigError,
+    PredictionService,
+    PSSConfig,
+    TenantQuota,
+)
+from repro.core.errors import DomainError
+from repro.core.kernel import ShardedCheckpointManager, ShardRouter
+from repro.core.kernel.checkpoint import shard_file_name
+from repro.core.persistence import snapshot_service
+
+CONFIG = PSSConfig(num_features=1)
+
+NAMES = [f"domain-{i}" for i in range(16)]
+
+
+def populate(service, names=NAMES, updates=0):
+    for name in names:
+        service.create_domain(name, config=CONFIG)
+        for i in range(updates):
+            service.update(name, [i], True)
+
+
+class TestShardRouter:
+    def test_rejects_nonpositive_shard_counts(self):
+        for bad in (0, -1):
+            with pytest.raises(ConfigError):
+                ShardRouter(bad)
+
+    def test_single_shard_routes_everything_to_zero(self):
+        router = ShardRouter(1)
+        assert {router.shard_of(name) for name in NAMES} == {0}
+
+    def test_placement_is_stable_and_in_range(self):
+        router = ShardRouter(4)
+        first = [router.shard_of(name) for name in NAMES]
+        assert first == [ShardRouter(4).shard_of(name) for name in NAMES]
+        assert all(0 <= shard < 4 for shard in first)
+        # 16 names over 4 shards should not all collapse onto one.
+        assert len(set(first)) > 1
+
+    def test_partition_groups_by_owner(self):
+        router = ShardRouter(4)
+        placed = router.partition(NAMES)
+        assert sorted(n for names in placed.values() for n in names) \
+            == sorted(NAMES)
+        for shard_id, names in placed.items():
+            assert all(router.shard_of(n) == shard_id for n in names)
+
+
+class TestShardedServiceTopology:
+    def test_domains_land_on_their_routed_shard(self):
+        service = PredictionService(num_shards=4)
+        populate(service)
+        for name in NAMES:
+            domain = service.domain(name)
+            assert domain.shard_id == service.shard_of(name)
+            assert name in service.shard(domain.shard_id)
+            assert domain.shard_label == str(domain.shard_id)
+
+    def test_unknown_shard_raises(self):
+        service = PredictionService(num_shards=2)
+        with pytest.raises(DomainError):
+            service.shard(2)
+
+    def test_remove_domain_releases_admission_quota(self):
+        admission = AdmissionController()
+        tenant = ClientIdentity(uid=1, program="t")
+        admission.set_quota(tenant, TenantQuota(max_domains=1))
+        service = PredictionService(num_shards=4, admission=admission)
+        service.handle("a", identity=tenant, config=CONFIG)
+        service.remove_domain("a")
+        assert admission.usage_for(tenant).domains == 0
+        service.handle("b", identity=tenant, config=CONFIG)
+
+    def test_shard_summaries_shape_and_totals(self):
+        service = PredictionService(num_shards=4)
+        populate(service, updates=2)
+        for name in NAMES:
+            service.predict(name, [1])
+        summaries = service.shard_summaries()
+        assert [s["shard"] for s in summaries] == [0, 1, 2, 3]
+        assert sum(s["domains"] for s in summaries) == len(NAMES)
+        assert sum(s["predictions"] for s in summaries) == len(NAMES)
+        assert sum(s["updates"] for s in summaries) == 2 * len(NAMES)
+        for summary in summaries:
+            assert summary["domains"] == len(summary["domain_names"])
+
+    def test_reports_carry_shard_ids(self):
+        service = PredictionService(num_shards=4)
+        populate(service)
+        for report in service.reports():
+            assert report.shard == service.shard_of(report.name)
+
+
+class TestShardedCheckpoints:
+    def trained_service(self, num_shards=4):
+        service = PredictionService(num_shards=num_shards)
+        populate(service, updates=3)
+        return service
+
+    def test_round_trip(self, tmp_path):
+        source = self.trained_service()
+        ShardedCheckpointManager(source, tmp_path).checkpoint()
+        assert (tmp_path / "manifest.json").exists()
+
+        restored = PredictionService(num_shards=4)
+        count = ShardedCheckpointManager(restored, tmp_path).recover()
+        assert count == len([
+            s for s in source.shard_summaries() if s["domains"]
+        ])
+        assert snapshot_service(restored)["domains"] \
+            == snapshot_service(source)["domains"]
+
+    def test_recover_from_empty_directory_is_cold_start(self, tmp_path):
+        service = PredictionService(num_shards=4)
+        manager = ShardedCheckpointManager(service, tmp_path)
+        assert manager.recover() == 0
+        assert service.domain_names() == ()
+
+    def test_corrupt_shard_file_costs_only_that_shard(self, tmp_path):
+        source = self.trained_service()
+        ShardedCheckpointManager(source, tmp_path).checkpoint()
+        occupied = [s["shard"] for s in source.shard_summaries()
+                    if s["domains"]]
+        victim = occupied[0]
+        path = tmp_path / shard_file_name(victim)
+        path.write_text(path.read_text()[:-20] + "garbage")
+
+        restored = PredictionService(num_shards=4)
+        manager = ShardedCheckpointManager(restored, tmp_path)
+        assert manager.recover() == len(occupied) - 1
+        assert manager.corrupt_detected == 1
+        assert manager.last_error
+        lost = set(source.shard(victim).domain_names())
+        assert set(restored.domain_names()) == set(NAMES) - lost
+
+    def test_dirty_signature_gates_rewrites(self, tmp_path):
+        source = self.trained_service()
+        manager = ShardedCheckpointManager(source, tmp_path)
+        first = manager.checkpoint()
+        assert first == len([
+            s for s in source.shard_summaries() if s["domains"]
+        ])
+        # Nothing moved: every shard is clean.
+        assert manager.checkpoint() == 0
+        # Touch one domain: only its shard is rewritten.
+        source.update(NAMES[0], [9], False)
+        assert manager.checkpoint() == 1
+
+    def test_tick_checkpoints_on_interval_boundaries(self, tmp_path):
+        source = self.trained_service()
+        manager = ShardedCheckpointManager(source, tmp_path, interval=10)
+        assert not manager.tick(9)
+        assert manager.tick(1)
+        assert manager.checkpoints_written > 0
+
+    def test_recovery_across_shard_count_change(self, tmp_path):
+        source = self.trained_service(num_shards=8)
+        ShardedCheckpointManager(source, tmp_path).checkpoint()
+
+        restored = PredictionService(num_shards=2)
+        ShardedCheckpointManager(restored, tmp_path).recover()
+        assert snapshot_service(restored)["domains"] \
+            == snapshot_service(source)["domains"]
+        # Restored domains sit where the 2-shard router says, not where
+        # the 8-shard manifest wrote them.
+        for name in NAMES:
+            assert restored.domain(name).shard_id == restored.shard_of(name)
+
+    def test_manifest_records_topology(self, tmp_path):
+        source = self.trained_service()
+        ShardedCheckpointManager(source, tmp_path).checkpoint()
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["version"] == 1
+        assert manifest["num_shards"] == 4
+        for shard_id, entry in manifest["shards"].items():
+            assert entry["domains"] == len(source.shard(int(shard_id)))
