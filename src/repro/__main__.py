@@ -32,6 +32,7 @@ EXPERIMENTS = {
 UTILITIES = {
     "all": "run every experiment in sequence",
     "models": "list the registered predictor models",
+    "check": "run the project invariant checker (docs/INVARIANTS.md)",
 }
 
 
@@ -67,6 +68,14 @@ def cmd_all(args: list[str]) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "check":
+        # The checker owns its own flags (--format/--baseline/...), so
+        # dispatch before the experiment parser can reject them.
+        from repro.analysis.cli import main as check_main
+
+        return check_main(arguments[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=("Reproduction of 'A Prediction System Service' "

@@ -1,0 +1,135 @@
+"""CRC-stable baseline of grandfathered findings.
+
+The baseline lets the gate be adopted on an imperfect tree: findings
+recorded in ``analysis-baseline.json`` are filtered out of a
+``--baseline`` run, so only *new* violations fail CI.  Two stability
+properties, mirroring the persistence layer's snapshot discipline:
+
+* entries are keyed by the finding's line-content fingerprint
+  (:meth:`repro.analysis.findings.Finding.fingerprint`), so edits that
+  merely shift line numbers do not invalidate the baseline;
+* the file embeds a CRC-32 ``checksum`` over its canonical payload, so
+  a hand-edited or merge-mangled baseline is *rejected* (exit 2)
+  instead of silently masking violations.
+
+The shipped baseline is empty: every violation the checker surfaced on
+first run was fixed, not grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.analysis.findings import Finding
+
+#: default baseline file name, looked up under the project root
+BASELINE_NAME = "analysis-baseline.json"
+
+#: bumped whenever the baseline layout changes incompatibly
+BASELINE_VERSION = 1
+
+
+class BaselineError(Exception):
+    """The baseline file is missing, malformed, or corrupt."""
+
+
+def _checksum(entries: list[dict[str, Any]]) -> int:
+    canonical = json.dumps(entries, sort_keys=True,
+                           separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def baseline_payload(findings: Iterable[Finding]) -> dict[str, Any]:
+    """The JSON-serializable baseline for ``findings``."""
+    entries = sorted(
+        (
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "fingerprint": finding.fingerprint(),
+                "message": finding.message,
+            }
+            for finding in findings
+        ),
+        key=lambda entry: (entry["path"], entry["rule"],
+                           entry["fingerprint"]),
+    )
+    return {
+        "version": BASELINE_VERSION,
+        "findings": entries,
+        "checksum": _checksum(entries),
+    }
+
+
+def write_baseline(findings: Iterable[Finding],
+                   path: str | Path) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    payload = baseline_payload(findings)
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n",
+                          encoding="utf-8")
+    return len(payload["findings"])
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, int]]:
+    """The (rule id, fingerprint) pairs the baseline grandfathers.
+
+    Raises :class:`BaselineError` on a missing file, malformed JSON,
+    unsupported version, or checksum mismatch - a baseline that cannot
+    be trusted must fail the run, not weaken it.
+    """
+    baseline_path = Path(path)
+    try:
+        text = baseline_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise BaselineError(
+            f"cannot read baseline {baseline_path}: {exc}"
+        ) from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BaselineError(
+            f"baseline {baseline_path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {baseline_path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else None!r}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise BaselineError(
+            f"baseline {baseline_path}: 'findings' must be a list"
+        )
+    if _checksum(entries) != payload.get("checksum"):
+        raise BaselineError(
+            f"baseline {baseline_path} checksum mismatch: refusing a "
+            f"corrupt or hand-edited baseline (regenerate with "
+            f"--write-baseline)"
+        )
+    grandfathered: set[tuple[str, int]] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "rule" not in entry \
+                or "fingerprint" not in entry:
+            raise BaselineError(
+                f"baseline {baseline_path}: malformed entry {entry!r}"
+            )
+        grandfathered.add((entry["rule"], entry["fingerprint"]))
+    return grandfathered
+
+
+def apply_baseline(findings: list[Finding],
+                   grandfathered: set[tuple[str, int]],
+                   ) -> tuple[list[Finding], int]:
+    """Split ``findings`` into (new, baselined-count)."""
+    fresh: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if (finding.rule_id, finding.fingerprint()) in grandfathered:
+            baselined += 1
+        else:
+            fresh.append(finding)
+    return fresh, baselined

@@ -1,0 +1,78 @@
+"""The rule protocol and small AST helpers shared by the rule set."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import FileContext, Project
+from repro.analysis.findings import Finding
+
+
+class Rule:
+    """One named invariant check.
+
+    ``check_file`` runs once per parsed file and yields findings local
+    to that file; ``finish`` runs once after every file has been seen
+    and yields cross-file findings (rules accumulate whatever state
+    they need on ``self`` in between).  A rule instance is used for a
+    single analysis run - the registry constructs fresh instances.
+    """
+
+    rule_id = "RUL000"
+    description = ""
+    severity = "error"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finish(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+
+def dotted_name(node: ast.expr) -> str:
+    """Render an attribute chain like ``time.perf_counter_ns`` or
+    ``self._tracer.record``; "" for anything that is not a plain
+    Name/Attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif parts:
+        # A chain rooted in a call or subscript: keep the attribute
+        # parts so suffix matching (e.g. ``.record``) still works.
+        parts.append("")
+    else:
+        return ""
+    return ".".join(reversed(parts))
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def string_constants(node: ast.AST) -> Iterator[tuple[str, int]]:
+    """Every string literal under ``node`` with its line number."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) \
+                and isinstance(child.value, str):
+            yield child.value, child.lineno
+
+
+def calls_method_on_super(body: Iterable[ast.stmt],
+                          method: str) -> bool:
+    """Whether any statement in ``body`` calls ``super().<method>``."""
+    for statement in body:
+        for call in walk_calls(statement):
+            func = call.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr == method
+                    and isinstance(func.value, ast.Call)
+                    and isinstance(func.value.func, ast.Name)
+                    and func.value.func.id == "super"):
+                return True
+    return False

@@ -1,0 +1,230 @@
+"""Contract rules: facade/kernel parity, transport close, no silent
+exception swallowing.
+
+These are the API promises other layers build on: the
+:class:`~repro.core.service.PredictionService` facade advertises the
+kernel's signatures unchanged (bit-identity claims are meaningless if
+callers cannot swap one for the other), every stateful transport
+participates in the ``close()`` lifecycle, and failures are either
+handled or propagated - never silently dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Project
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule, calls_method_on_super
+
+#: (facade class, kernel class) pairs whose public signatures must match
+FACADE_PAIRS = (("PredictionService", "ShardedService"),)
+
+
+def _signature(function: ast.FunctionDef) -> list[tuple[str, str]]:
+    """Ordered (param name, default source) pairs, excluding ``self``.
+
+    Positional-only/keyword-only markers are deliberately ignored: the
+    facade may tighten a parameter to keyword-only without breaking the
+    keyword call sites the project uses.
+    """
+    args = function.args
+    ordered = list(args.posonlyargs) + list(args.args)
+    defaults: dict[str, str] = {}
+    for arg, default in zip(reversed(ordered),
+                            reversed(args.defaults)):
+        defaults[arg.arg] = ast.unparse(default)
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            defaults[arg.arg] = ast.unparse(default)
+    names = [arg.arg for arg in ordered + list(args.kwonlyargs)
+             if arg.arg != "self"]
+    if args.vararg is not None:
+        names.append("*" + args.vararg.arg)
+    if args.kwarg is not None:
+        names.append("**" + args.kwarg.arg)
+    return [(name, defaults.get(name, "")) for name in names]
+
+
+def _public_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    methods: dict[str, ast.FunctionDef] = {}
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == "__init__" \
+                    or not node.name.startswith("_"):
+                methods[node.name] = node
+    return methods
+
+
+def _find_classes(project: Project) -> dict[str, tuple[FileContext,
+                                                       ast.ClassDef]]:
+    classes: dict[str, tuple[FileContext, ast.ClassDef]] = {}
+    for context in project.contexts:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                classes.setdefault(node.name, (context, node))
+    return classes
+
+
+class FacadeParityRule(Rule):
+    """API001: facade and kernel public signatures stay in sync.
+
+    For every public method (plus ``__init__``) the facade overrides,
+    the parameter names, order, and defaults must match the kernel's.
+    A facade-only method is fine (sugar); a *changed* signature means
+    the "API-compatible facade" claim is broken.
+    """
+
+    rule_id = "API001"
+    description = ("PredictionService facade and ShardedService kernel "
+                   "public signatures stay in sync")
+
+    def finish(self, project: Project) -> Iterator[Finding]:
+        classes = _find_classes(project)
+        for facade_name, kernel_name in FACADE_PAIRS:
+            if facade_name not in classes or kernel_name not in classes:
+                continue
+            facade_ctx, facade_cls = classes[facade_name]
+            _kernel_ctx, kernel_cls = classes[kernel_name]
+            kernel_methods = _public_methods(kernel_cls)
+            for name, method in _public_methods(facade_cls).items():
+                kernel_method = kernel_methods.get(name)
+                if kernel_method is None:
+                    continue
+                facade_sig = _signature(method)
+                kernel_sig = _signature(kernel_method)
+                if facade_sig != kernel_sig:
+                    yield facade_ctx.finding(
+                        self.rule_id, method.lineno,
+                        f"{facade_name}.{name} signature "
+                        f"{_render(facade_sig)} drifted from "
+                        f"{kernel_name}.{name} {_render(kernel_sig)}",
+                    )
+
+
+def _render(signature: list[tuple[str, str]]) -> str:
+    parts = [f"{name}={default}" if default else name
+             for name, default in signature]
+    return "(" + ", ".join(parts) + ")"
+
+
+class TransportCloseRule(Rule):
+    """CTR001: stateful transports participate in the close lifecycle.
+
+    A :class:`~repro.core.transport.Transport` subclass that defines
+    ``__init__`` owns construction-time state (buffers, caches), so it
+    must chain ``super().__init__`` (or the base's account/injector/
+    tracer wiring silently vanishes) *and* override ``close()`` with a
+    ``super().close()`` chain that releases that state - the base close
+    only knows about the flush contract.
+    """
+
+    rule_id = "CTR001"
+    description = ("every stateful Transport subclass overrides "
+                   "close() and chains super().__init__")
+
+    BASE_SUFFIX = "Transport"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_transport_subclass(node):
+                continue
+            methods = {
+                child.name: child for child in node.body
+                if isinstance(child, ast.FunctionDef)
+            }
+            init = methods.get("__init__")
+            if init is None:
+                continue  # stateless specialization; base contract holds
+            if not calls_method_on_super(init.body, "__init__"):
+                yield ctx.finding(
+                    self.rule_id, init.lineno,
+                    f"{node.name}.__init__ does not chain "
+                    f"super().__init__: base transport wiring "
+                    f"(account, injector, tracer) is lost",
+                )
+            close = methods.get("close")
+            if close is None:
+                yield ctx.finding(
+                    self.rule_id, node.lineno,
+                    f"{node.name} adds construction-time state but "
+                    f"does not override close(): its state outlives "
+                    f"the close() contract",
+                )
+            elif not calls_method_on_super(close.body, "close"):
+                yield ctx.finding(
+                    self.rule_id, close.lineno,
+                    f"{node.name}.close does not chain super().close():"
+                    f" the flush-then-refuse contract is skipped",
+                )
+
+    def _is_transport_subclass(self, node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else ""
+            )
+            if name.endswith(self.BASE_SUFFIX):
+                return True
+        return False
+
+
+class NoSwallowedExceptionsRule(Rule):
+    """EXC001: no silently swallowed exceptions.
+
+    A bare ``except:`` (catches ``KeyboardInterrupt``) is never
+    acceptable; ``except Exception: pass`` hides faults the resilience
+    stack is specifically designed to count and report.  The
+    best-effort recovery paths in the persistence layer are the
+    sanctioned exception - and even they *record* what they swallow.
+    """
+
+    rule_id = "EXC001"
+    description = ("no bare except / `except Exception: pass` outside "
+                   "best-effort checkpoint recovery")
+
+    #: modules whose recovery paths may swallow broad exceptions
+    ALLOWED_MODULES = frozenset({
+        "core/persistence.py",
+        "core/kernel/checkpoint.py",
+    })
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        allowed = ctx.module_path in self.ALLOWED_MODULES
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                if not allowed:
+                    yield ctx.finding(
+                        self.rule_id, node.lineno,
+                        "bare `except:` catches KeyboardInterrupt and "
+                        "SystemExit; name the exceptions",
+                    )
+                continue
+            if allowed:
+                continue
+            if self._is_broad(node.type) and self._only_passes(node):
+                yield ctx.finding(
+                    self.rule_id, node.lineno,
+                    "`except Exception: pass` silently swallows "
+                    "faults; handle, count, or re-raise them",
+                )
+
+    @staticmethod
+    def _is_broad(node: ast.expr) -> bool:
+        names = []
+        if isinstance(node, ast.Tuple):
+            names = [e.id for e in node.elts
+                     if isinstance(e, ast.Name)]
+        elif isinstance(node, ast.Name):
+            names = [node.id]
+        return any(name in ("Exception", "BaseException")
+                   for name in names)
+
+    @staticmethod
+    def _only_passes(node: ast.ExceptHandler) -> bool:
+        return all(isinstance(statement, ast.Pass)
+                   for statement in node.body)

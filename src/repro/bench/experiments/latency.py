@@ -10,6 +10,11 @@ Two measurements:
   (vdso-style direct call cheaper than a syscall-priced call path) holds.
 
 Run with ``python -m repro.bench.experiments.latency``.
+
+This module is the one sanctioned wall-clock reader in the package:
+the invariant checker's DET001 rule (see ``docs/INVARIANTS.md``)
+allowlists it, because comparing simulated cost against real Python
+overhead is exactly its job.  Everything else must use simulated time.
 """
 
 from __future__ import annotations

@@ -35,8 +35,17 @@ from __future__ import annotations
 import json
 import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
+from repro.core.config import PSSConfig, ServiceConfig
 from repro.core.errors import PersistenceError
+from repro.core.kernel.domain import Domain
+from repro.core.policy import DomainPolicy
+from repro.obs.trace import TracerLike
+
+if TYPE_CHECKING:
+    from repro.core.faults import FaultInjector
+    from repro.core.kernel.service import ShardedService
 
 #: bumped whenever the manifest layout changes incompatibly
 MANIFEST_VERSION = 1
@@ -57,22 +66,22 @@ class ShardView:
     to the owning service so creation re-routes through the router.
     """
 
-    def __init__(self, service, shard_id: int) -> None:
+    def __init__(self, service: ShardedService, shard_id: int) -> None:
         self._service = service
         self.shard_id = shard_id
 
     @property
-    def config(self):
+    def config(self) -> ServiceConfig:
         return self._service.config
 
     @property
-    def tracer(self):
+    def tracer(self) -> TracerLike:
         return self._service.tracer
 
     def domain_names(self) -> tuple[str, ...]:
         return self._service.shard(self.shard_id).domain_names()
 
-    def domain(self, name: str):
+    def domain(self, name: str) -> Domain:
         return self._service.domain(name)
 
     def has_domain(self, name: str) -> bool:
@@ -81,8 +90,9 @@ class ShardView:
     def remove_domain(self, name: str) -> None:
         self._service.remove_domain(name)
 
-    def create_domain(self, name: str, config=None,
-                      model: str = "perceptron", policy=None):
+    def create_domain(self, name: str, config: PSSConfig | None = None,
+                      model: str = "perceptron",
+                      policy: DomainPolicy | None = None) -> Domain:
         return self._service.create_domain(
             name, config=config, model=model, policy=policy
         )
@@ -104,11 +114,11 @@ class ShardedCheckpointManager:
     detect-don't-trust path per shard.
     """
 
-    def __init__(self, service, directory: str | Path,
+    def __init__(self, service: ShardedService, directory: str | Path,
                  interval: int = 256,
                  include_stats: bool = True,
-                 injector=None,
-                 tracer=None) -> None:
+                 injector: FaultInjector | None = None,
+                 tracer: TracerLike | None = None) -> None:
         # Deferred import: persistence imports the service facade, which
         # imports the kernel package this module belongs to.
         from repro.core.persistence import CheckpointManager
@@ -122,9 +132,8 @@ class ShardedCheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.interval = interval
         self.include_stats = include_stats
-        self.tracer = tracer if tracer is not None else getattr(
-            service, "tracer", None
-        )
+        self.tracer: TracerLike = (tracer if tracer is not None
+                                   else service.tracer)
         self._managers = [
             CheckpointManager(
                 ShardView(service, shard.shard_id),
@@ -137,7 +146,7 @@ class ShardedCheckpointManager:
             for shard in service.shards
         ]
         #: last-checkpointed dirty signature per shard (None = never)
-        self._written_signatures: list[tuple | None] = \
+        self._written_signatures: list[tuple[Any, ...] | None] = \
             [None] * service.num_shards
         self.ticks = 0
         self.checkpoints_written = 0
@@ -192,7 +201,7 @@ class ShardedCheckpointManager:
         return written
 
     def _write_manifest(self) -> None:
-        shards = {}
+        shards: dict[str, dict[str, Any]] = {}
         for shard in self.service.shards:
             path = self.directory / shard_file_name(shard.shard_id)
             if not path.exists():
@@ -219,7 +228,7 @@ class ShardedCheckpointManager:
 
     # -- recovery ----------------------------------------------------------
 
-    def read_manifest(self) -> dict | None:
+    def read_manifest(self) -> dict[str, Any] | None:
         """The manifest dict, or None when missing/corrupt (recorded)."""
         if not self.manifest_path.exists():
             return None

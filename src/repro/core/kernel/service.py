@@ -21,9 +21,13 @@ observability.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.core.config import PSSConfig, ServiceConfig
+from repro.core.config import (
+    PSSConfig,
+    ResilienceConfig,
+    ServiceConfig,
+)
 from repro.core.errors import DomainError
 from repro.core.kernel.admission import AdmissionController
 from repro.core.kernel.domain import Domain, DomainHandle
@@ -32,7 +36,12 @@ from repro.core.kernel.sharding import ShardRouter
 from repro.core.models import create_model, ensure_builtin_models
 from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
 from repro.core.stats import DomainReport, ResilienceStats
-from repro.obs.trace import NULL_TRACER
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, TracerLike
+
+if TYPE_CHECKING:
+    from repro.core.client import Fallback, PSSClient
+    from repro.core.faults import FaultInjector, FaultPlan
 
 
 class ShardedService:
@@ -48,12 +57,14 @@ class ShardedService:
     """
 
     def __init__(self, config: ServiceConfig | None = None,
-                 tracer=None, metrics=None,
+                 tracer: TracerLike | None = None,
+                 metrics: MetricsRegistry | None = None,
                  num_shards: int = 1,
                  admission: AdmissionController | None = None) -> None:
         ensure_builtin_models()
         self.config = config or ServiceConfig()
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer: TracerLike = (tracer if tracer is not None
+                                   else NULL_TRACER)
         self.metrics = metrics
         self.admission = admission
         self._router = ShardRouter(num_shards)
@@ -181,9 +192,10 @@ class ShardedService:
                 config: PSSConfig | None = None,
                 model: str = "perceptron",
                 batch_size: int | None = None,
-                resilience=None,
-                fallback=None,
-                fault_plan=None):
+                resilience: ResilienceConfig | None = None,
+                fallback: Fallback | None = None,
+                fault_plan: FaultPlan | FaultInjector | dict[str, Any]
+                | None = None) -> PSSClient:
         """Open a :class:`repro.core.client.PSSClient` on a domain.
 
         This is the normal entry point for applications: it wires the
@@ -271,7 +283,7 @@ class ShardedService:
         domains that ever had a resilient client attached additionally
         carry the aggregated :class:`ResilienceStats`.
         """
-        reports = []
+        reports: list[DomainReport] = []
         for name in self.domain_names():
             report = self.domain(name).report()
             resilience = self._resilience_stats.get(name)
@@ -290,7 +302,7 @@ class ShardedService:
             reports.append(report)
         return reports
 
-    def shard_summaries(self) -> list[dict]:
+    def shard_summaries(self) -> list[dict[str, Any]]:
         """Per-shard load view for shard-scaling reports.
 
         One dict per shard: domain count, aggregate prediction/update
@@ -298,11 +310,11 @@ class ShardedService:
         service carries a metrics registry - vDSO/syscall latency
         percentile snapshots merged over the shard's domains.
         """
-        summaries = []
+        summaries: list[dict[str, Any]] = []
         for shard in self._shards:
             stats = shard.merged_stats()
             latency = shard.merged_latency()
-            summary = {
+            summary: dict[str, Any] = {
                 "shard": shard.shard_id,
                 "domains": len(shard),
                 "domain_names": shard.domain_names(),
@@ -315,7 +327,7 @@ class ShardedService:
                 for path, metric in (("vdso_read_ns",
                                       "pss_vdso_read_ns"),
                                      ("syscall_ns", "pss_syscall_ns")):
-                    merged = None
+                    merged: Histogram | None = None
                     for name in shard.domain_names():
                         part = self.metrics.merged_histogram(
                             metric, domain=name

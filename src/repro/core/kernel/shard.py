@@ -55,7 +55,7 @@ class Shard:
             total.merge(account)
         return total
 
-    def dirty_signature(self) -> tuple:
+    def dirty_signature(self) -> tuple[tuple[str, int, int, int, int], ...]:
         """Cheap change detector for incremental checkpointing.
 
         Changes whenever any hosted domain's weights or stats may have:

@@ -14,6 +14,7 @@ and versions, unlike the builtin ``hash`` which is salted per process.
 from __future__ import annotations
 
 import zlib
+from typing import Iterable
 
 from repro.core.errors import ConfigError
 
@@ -34,7 +35,7 @@ class ShardRouter:
             return 0
         return zlib.crc32(name.encode("utf-8")) % self.num_shards
 
-    def partition(self, names) -> dict[int, list[str]]:
+    def partition(self, names: Iterable[str]) -> dict[int, list[str]]:
         """Group ``names`` by owning shard (shards with no names absent)."""
         placed: dict[int, list[str]] = {}
         for name in names:

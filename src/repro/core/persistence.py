@@ -30,17 +30,44 @@ import dataclasses
 import json
 import zlib
 from pathlib import Path
-from typing import Any
+from typing import Any, Protocol
 
-from repro.core.config import PSSConfig
+from repro.core.config import PSSConfig, ServiceConfig
 from repro.core.errors import PersistenceError, PSSError
+from repro.core.faults import FaultInjector
 from repro.core.models import create_model
-from repro.core.service import Domain, PredictionService
+from repro.core.service import Domain
 from repro.core.stats import PredictionStats
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 #: bumped whenever the snapshot layout changes incompatibly
 SNAPSHOT_VERSION = 1
+
+
+class SnapshotTarget(Protocol):
+    """What snapshot/restore need from a service.
+
+    Structural, not nominal, on purpose: a full
+    :class:`~repro.core.service.PredictionService` satisfies it, and so
+    does the per-shard :class:`~repro.core.kernel.checkpoint.ShardView`
+    adapter - which is how one :class:`CheckpointManager` can persist
+    either a whole service or a single shard's slice of one.
+    """
+
+    @property
+    def config(self) -> ServiceConfig: ...
+
+    def domain_names(self) -> tuple[str, ...]: ...
+
+    def domain(self, name: str) -> Domain: ...
+
+    def has_domain(self, name: str) -> bool: ...
+
+    def remove_domain(self, name: str) -> None: ...
+
+    def create_domain(self, name: str,
+                      config: PSSConfig | None = ...,
+                      model: str = ...) -> Domain: ...
 
 
 def _domains_checksum(domains: dict[str, Any]) -> int:
@@ -49,7 +76,7 @@ def _domains_checksum(domains: dict[str, Any]) -> int:
     return zlib.crc32(canonical.encode("utf-8"))
 
 
-def snapshot_service(service: PredictionService,
+def snapshot_service(service: SnapshotTarget,
                      include_stats: bool = True) -> dict[str, Any]:
     """Capture every domain's learned state as a JSON-serializable dict."""
     domains: dict[str, Any] = {}
@@ -70,7 +97,7 @@ def snapshot_service(service: PredictionService,
     }
 
 
-def restore_service(service: PredictionService,
+def restore_service(service: SnapshotTarget,
                     snapshot: dict[str, Any]) -> None:
     """Recreate the snapshot's domains inside ``service``.
 
@@ -137,7 +164,7 @@ def restore_service(service: PredictionService,
         committed.generation_offset += 1
 
 
-def save_service(service: PredictionService, path: str | Path,
+def save_service(service: SnapshotTarget, path: str | Path,
                  include_stats: bool = True) -> None:
     """Write a snapshot of ``service`` to ``path`` as JSON."""
     snapshot = snapshot_service(service, include_stats=include_stats)
@@ -147,7 +174,7 @@ def save_service(service: PredictionService, path: str | Path,
         raise PersistenceError(f"cannot write snapshot: {exc}") from exc
 
 
-def load_service(service: PredictionService, path: str | Path) -> None:
+def load_service(service: SnapshotTarget, path: str | Path) -> None:
     """Restore ``service`` domains from a JSON snapshot at ``path``."""
     try:
         text = Path(path).read_text()
@@ -183,11 +210,11 @@ class CheckpointManager:
     detect-don't-trust path end to end.
     """
 
-    def __init__(self, service: PredictionService, path: str | Path,
+    def __init__(self, service: SnapshotTarget, path: str | Path,
                  interval: int = 256,
                  include_stats: bool = True,
-                 injector=None,
-                 tracer=None) -> None:
+                 injector: FaultInjector | None = None,
+                 tracer: TracerLike | None = None) -> None:
         if interval < 1:
             raise PersistenceError(
                 f"checkpoint interval must be positive, got {interval}"

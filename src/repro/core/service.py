@@ -33,6 +33,8 @@ from repro.core.config import ServiceConfig
 from repro.core.kernel.admission import AdmissionController
 from repro.core.kernel.domain import Domain, DomainHandle
 from repro.core.kernel.service import ShardedService
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TracerLike
 
 __all__ = ["Domain", "DomainHandle", "PredictionService"]
 
@@ -55,7 +57,8 @@ class PredictionService(ShardedService):
     """
 
     def __init__(self, config: ServiceConfig | None = None,
-                 tracer=None, metrics=None, *,
+                 tracer: TracerLike | None = None,
+                 metrics: MetricsRegistry | None = None, *,
                  num_shards: int = 1,
                  admission: AdmissionController | None = None) -> None:
         super().__init__(config=config, tracer=tracer, metrics=metrics,

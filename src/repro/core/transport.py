@@ -377,6 +377,17 @@ class VdsoTransport(Transport):
         self._stale_cache[key] = score
         return score
 
+    def close(self) -> None:
+        """Flush buffered updates, then drop the score and stale-read
+        caches with the connection: a closed mapping must not keep
+        answers alive past the handle they were read through."""
+        try:
+            super().close()
+        finally:
+            self._score_cache.clear()
+            self._stale_cache.clear()
+            self._score_cache_generation = -1
+
     def update(self, features: Sequence[int], direction: bool) -> None:
         self._ensure_open()
         self._buffer.add(features, direction)

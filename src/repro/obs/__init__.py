@@ -30,6 +30,7 @@ from repro.obs.trace import (
     NullTracer,
     TraceEvent,
     Tracer,
+    TracerLike,
 )
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "NullTracer",
     "TraceEvent",
     "Tracer",
+    "TracerLike",
     "Counter",
     "Gauge",
     "Histogram",

@@ -21,14 +21,14 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import TraceEvent, Tracer
+from repro.obs.trace import TraceEvent, TracerLike
 
 #: event kinds that represent work with a duration (Chrome "X" events);
 #: everything else is rendered as an instant ("i")
 DURATION_KINDS = frozenset({"predict", "update", "reset", "flush"})
 
 
-def write_jsonl(tracer: Tracer, path: str | Path) -> int:
+def write_jsonl(tracer: TracerLike, path: str | Path) -> int:
     """Dump the tracer's events as JSON Lines; returns the event count."""
     events = tracer.events()
     with Path(path).open("w", encoding="utf-8") as handle:
@@ -98,7 +98,7 @@ def chrome_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
     return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
 
 
-def write_chrome_trace(tracer: Tracer, path: str | Path) -> int:
+def write_chrome_trace(tracer: TracerLike, path: str | Path) -> int:
     """Write the tracer's buffer as a Chrome trace file; returns the
     number of exported (non-metadata) events."""
     events = tracer.events()

@@ -21,7 +21,7 @@ from repro.obs.exporters import (
     write_jsonl,
 )
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import NULL_TRACER, Tracer
+from repro.obs.trace import NULL_TRACER, Tracer, TracerLike
 
 #: ring capacity for CLI-driven traces: big enough for a --quick run's
 #: full event stream, bounded so `all` cannot exhaust memory
@@ -32,7 +32,7 @@ CLI_TRACE_CAPACITY = 1 << 20
 class ObsSession:
     """Observability instruments for one experiment invocation."""
 
-    tracer: Tracer
+    tracer: TracerLike
     metrics: MetricsRegistry | None
     trace_path: str | None
 
@@ -74,7 +74,7 @@ def histogram_summary(metrics: MetricsRegistry) -> str:
     """Aligned per-histogram percentile table for stdout reports."""
     from repro.bench.tables import format_table
 
-    rows = []
+    rows: list[list[object]] = []
     for (name, labels), histogram in metrics.histograms():
         if histogram.count == 0:
             continue
@@ -112,8 +112,8 @@ def obs_from_args(args: list[str]) -> ObsSession:
         trace_path = args[index + 1]
     if "--metrics" in args:
         metrics_requested = True
-    tracer: Tracer = (Tracer(capacity=CLI_TRACE_CAPACITY)
-                      if trace_path else NULL_TRACER)
+    tracer: TracerLike = (Tracer(capacity=CLI_TRACE_CAPACITY)
+                          if trace_path else NULL_TRACER)
     registry = MetricsRegistry() if metrics_requested else None
     return ObsSession(tracer=tracer, metrics=registry,
                       trace_path=trace_path)

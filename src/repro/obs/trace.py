@@ -18,7 +18,7 @@ ever built.
 
 from __future__ import annotations
 
-from typing import Any, Callable, NamedTuple
+from typing import Any, Callable, NamedTuple, Union
 
 #: event kinds emitted by the instrumented stack (transports, clients,
 #: fault injector, checkpoint manager).  Exporters and tests treat this
@@ -145,7 +145,7 @@ class NullTracer:
     enabled = False
     capacity = 0
     dropped = 0
-    clock = None
+    clock: Callable[[], float] | None = None
 
     def __len__(self) -> int:
         return 0
@@ -163,6 +163,9 @@ class NullTracer:
     def clear(self) -> None:
         pass
 
+
+#: what components hold: a live :class:`Tracer` or the null object
+TracerLike = Union[Tracer, NullTracer]
 
 #: shared disabled tracer; safe to use as a default everywhere
 NULL_TRACER = NullTracer()

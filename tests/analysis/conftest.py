@@ -1,0 +1,25 @@
+"""Shared helpers for the invariant-checker tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import Project, run_rules
+from repro.analysis.rules import select_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: the real repository root (the tree ``python -m repro check`` gates)
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def check_fixture():
+    """Run selected rules over a fixture tree; returns (findings,
+    suppressed)."""
+
+    def run(name: str, rule_ids: list[str]):
+        project = Project(FIXTURES / name)
+        return run_rules(project, select_rules(rule_ids))
+
+    return run

@@ -1,0 +1,18 @@
+"""Fixture: a facade that drifted from its kernel (API001)."""
+
+from kernel import ShardedService
+
+
+class PredictionService(ShardedService):
+    # Parity: same names, order, defaults (num_shards merely made
+    # keyword-only, which API001 deliberately tolerates).
+    def __init__(self, config=None, *, num_shards=1):
+        super().__init__(config=config, num_shards=num_shards)
+
+    # Drift: the default changed ("vdso" -> "syscall").
+    def connect(self, name, transport="syscall", batch_size=None):
+        return super().connect(name, transport, batch_size)
+
+    # Facade-only sugar: not compared against anything.
+    def connect_default(self, name):
+        return self.connect(name)

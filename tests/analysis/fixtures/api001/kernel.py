@@ -1,0 +1,13 @@
+"""Fixture: the kernel side of a facade/kernel pair (API001)."""
+
+
+class ShardedService:
+    def __init__(self, config=None, num_shards=1):
+        self.config = config
+        self.num_shards = num_shards
+
+    def connect(self, name, transport="vdso", batch_size=None):
+        return (name, transport, batch_size)
+
+    def kernel_only(self, shard_id):
+        return shard_id

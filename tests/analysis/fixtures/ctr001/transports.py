@@ -1,0 +1,48 @@
+"""Fixture: the transport close()/super().__init__ contract (CTR001)."""
+
+
+class Transport:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class GoodTransport(Transport):
+    """Stateful, fully contract-compliant: no findings."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = {}
+
+    def close(self):
+        super().close()
+        self.cache.clear()
+
+
+class StatelessTransport(Transport):
+    """No __init__: the base contract holds untouched, no findings."""
+
+    def ping(self):
+        return not self.closed
+
+
+class LeakyTransport(Transport):
+    """Adds state but neither chains __init__ nor overrides close():
+    two findings."""
+
+    def __init__(self):
+        self.buffer = []
+
+
+class HalfClosedTransport(Transport):
+    """Overrides close() without chaining super().close(): one
+    finding."""
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = []
+
+    def close(self):
+        self.buffer.clear()

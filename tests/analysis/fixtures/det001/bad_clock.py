@@ -1,0 +1,14 @@
+"""Fixture: every way DET001 must catch a wall-clock read."""
+
+import time
+import time as walltime
+from datetime import datetime
+from time import monotonic as mono
+
+
+def stamp():
+    a = time.time()                  # plain module call
+    b = walltime.perf_counter()      # aliased module call
+    c = mono()                       # from-imported, renamed
+    d = datetime.now()               # host timestamp
+    return a + b + c, d

@@ -1,0 +1,8 @@
+"""Fixture: the allowlisted wall-clock harness path."""
+
+import time
+
+
+def measure():
+    start = time.perf_counter_ns()
+    return time.perf_counter_ns() - start

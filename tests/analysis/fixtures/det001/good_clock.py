@@ -1,0 +1,10 @@
+"""Fixture: legitimate uses of ``time`` that DET001 must not flag."""
+
+import time
+
+
+def fine(account):
+    # Non-clock members of the time module are fine.
+    time.sleep(0)
+    # Simulated nanoseconds come from accounting objects, not the host.
+    return account.total_ns

@@ -1,0 +1,8 @@
+"""Fixture: process-global RNG use DET002 must catch."""
+
+import random
+from random import choice
+
+
+def draw(options):
+    return choice(options) if options else random.random()

@@ -1,0 +1,6 @@
+"""Fixture: seeded-stream use DET002 must accept."""
+
+
+def draw(rng):
+    # The stream is injected, already seeded; no global RNG touched.
+    return rng.random()

@@ -1,0 +1,7 @@
+"""Fixture: the allowlisted seeded-stream constructor module."""
+
+import random
+
+
+def make_stream(seed):
+    return random.Random(seed)

@@ -1,0 +1,15 @@
+"""Fixture: swallowed exceptions EXC001 must catch."""
+
+
+def swallow_everything(work):
+    try:
+        work()
+    except:
+        return None
+
+
+def swallow_silently(work):
+    try:
+        work()
+    except Exception:
+        pass

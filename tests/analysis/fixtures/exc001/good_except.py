@@ -1,0 +1,17 @@
+"""Fixture: exception handling EXC001 must accept."""
+
+
+def named(work, log):
+    try:
+        work()
+    except ValueError as exc:
+        log.append(exc)
+
+
+def broad_but_handled(work, log):
+    # Broad catch is fine when the fault is recorded, not dropped.
+    try:
+        work()
+    except Exception as exc:
+        log.append(exc)
+        raise

@@ -1,0 +1,20 @@
+"""Fixture: pragma suppression on the line and the line above."""
+
+import time
+
+
+def same_line():
+    return time.time()  # repro: allow DET001
+
+
+def line_above():
+    # repro: allow DET001, DET002
+    return time.monotonic()
+
+
+def unsuppressed():
+    return time.perf_counter()
+
+
+def wrong_rule():
+    return time.time()  # repro: allow TRC001

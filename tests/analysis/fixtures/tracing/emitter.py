@@ -1,0 +1,23 @@
+"""Fixture: emission sites, registered and not."""
+
+
+class Component:
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    def ok_positional(self):
+        self.tracer.record("predict", domain="d")
+
+    def ok_keyword(self):
+        self.tracer.record(kind="update", domain="d")
+
+    def bad_unregistered(self):
+        self.tracer.record("bogus_kind", domain="d")
+
+    def dynamic_is_skipped(self, kind):
+        # Not a literal: TRC001 cannot and must not judge it.
+        self.tracer.record(kind, domain="d")
+
+    def not_an_emission(self, stats):
+        # ``record`` on a non-tracer receiver is out of scope.
+        stats.record("whatever")

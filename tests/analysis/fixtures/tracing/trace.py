@@ -1,0 +1,7 @@
+"""Fixture: a miniature trace-kind registry (TRC001/TRC002 target)."""
+
+EVENT_KINDS = frozenset({
+    "predict",
+    "update",
+    "never_emitted",
+})

@@ -1,0 +1,94 @@
+"""Baseline file: round trips, line-drift stability, corruption."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    BaselineError,
+    apply_baseline,
+    baseline_payload,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+
+FINDINGS = [
+    Finding("DET001", "a.py", 3, "clock", source_line="time.time()"),
+    Finding("EXC001", "b.py", 9, "bare", source_line="except:"),
+]
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        assert write_baseline(FINDINGS, path) == 2
+        grandfathered = load_baseline(path)
+        assert grandfathered == {
+            (f.rule_id, f.fingerprint()) for f in FINDINGS
+        }
+
+    def test_apply_filters_only_grandfathered(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(FINDINGS[:1], path)
+        fresh, baselined = apply_baseline(
+            list(FINDINGS), load_baseline(path)
+        )
+        assert baselined == 1
+        assert fresh == [FINDINGS[1]]
+
+    def test_line_drift_does_not_invalidate(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(FINDINGS, path)
+        shifted = Finding("DET001", "a.py", 300, "clock moved",
+                          source_line="time.time()")
+        fresh, baselined = apply_baseline(
+            [shifted], load_baseline(path)
+        )
+        assert (fresh, baselined) == ([], 1)
+
+    def test_payload_is_deterministic(self):
+        assert baseline_payload(FINDINGS) == \
+            baseline_payload(list(reversed(FINDINGS)))
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        payload = baseline_payload(FINDINGS)
+        payload["version"] = BASELINE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="version"):
+            load_baseline(path)
+
+    def test_hand_edited_entries_fail_checksum(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        payload = baseline_payload(FINDINGS)
+        payload["findings"][0]["message"] = "edited"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="checksum"):
+            load_baseline(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = [{"path": "a.py"}]  # no rule/fingerprint
+        payload = baseline_payload([])
+        payload["findings"] = entries
+        import zlib
+        payload["checksum"] = zlib.crc32(json.dumps(
+            entries, sort_keys=True, separators=(",", ":")
+        ).encode())
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BaselineError, match="malformed entry"):
+            load_baseline(path)

@@ -1,0 +1,135 @@
+"""The ``python -m repro check`` gate, end to end.
+
+The two load-bearing properties: the shipped tree is clean (exit 0),
+and a seeded violation in a copy of the tree fails it (exit 1).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+from .conftest import REPO_ROOT
+
+
+def seeded_tree(tmp_path, violation="\nimport time\n"
+                                    "_BOOT = time.time()\n"):
+    """A copy of the real package with one violation appended."""
+    shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+    target = tmp_path / "src" / "repro" / "core" / "config.py"
+    target.write_text(target.read_text() + violation)
+    return tmp_path
+
+
+class TestShippedTree:
+    def test_clean(self, capsys):
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("0 findings")
+
+    def test_clean_under_baseline(self):
+        assert main(["--root", str(REPO_ROOT), "--baseline"]) == 0
+
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "check", "--format", "json"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(result.stdout)
+        assert report["findings"] == []
+        assert report["checked_files"] > 50
+
+
+class TestSeededViolation:
+    def test_fails_with_located_finding(self, tmp_path, capsys):
+        root = seeded_tree(tmp_path)
+        assert main(["--root", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "core/config.py" in out
+        assert "DET001 error" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        root = seeded_tree(tmp_path)
+        assert main(["--root", str(root), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        (finding,) = report["findings"]
+        assert finding["rule"] == "DET001"
+        assert finding["source_line"] == "_BOOT = time.time()"
+
+    def test_output_artifact_written(self, tmp_path, capsys):
+        root = seeded_tree(tmp_path)
+        artifact = tmp_path / "findings.json"
+        assert main(["--root", str(root),
+                     "--output", str(artifact)]) == 1
+        capsys.readouterr()
+        report = json.loads(artifact.read_text())
+        assert len(report["findings"]) == 1
+
+    def test_write_baseline_grandfathers(self, tmp_path, capsys):
+        root = seeded_tree(tmp_path)
+        assert main(["--root", str(root), "--write-baseline"]) == 0
+        # Grandfathered: the same violation no longer fails...
+        assert main(["--root", str(root), "--baseline"]) == 0
+        # ...but without --baseline it still does,
+        assert main(["--root", str(root)]) == 1
+        # and a *new* violation fails even under the baseline.
+        extra = root / "src" / "repro" / "core" / "errors.py"
+        extra.write_text(extra.read_text() + "\nimport random\n")
+        capsys.readouterr()
+        assert main(["--root", str(root), "--baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out
+        assert "1 baselined" in out
+
+    def test_corrupt_baseline_is_exit_2(self, tmp_path, capsys):
+        root = seeded_tree(tmp_path)
+        assert main(["--root", str(root), "--write-baseline"]) == 0
+        baseline = root / "analysis-baseline.json"
+        payload = json.loads(baseline.read_text())
+        payload["findings"] = []
+        baseline.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["--root", str(root), "--baseline"]) == 2
+
+
+class TestUsage:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("API001", "CTR001", "DET001", "DET002",
+                        "EXC001", "TRC001", "TRC002"):
+            assert rule_id in out
+
+    def test_unknown_rule_is_exit_2(self, capsys):
+        assert main(["--rules", "NOPE99"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_bad_flag_is_exit_2(self, capsys):
+        assert main(["--no-such-flag"]) == 2
+        capsys.readouterr()
+
+    def test_missing_root_is_exit_2(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path / "absent")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_rule_subset_runs(self, capsys):
+        assert main(["--root", str(REPO_ROOT),
+                     "--rules", "DET001,DET002"]) == 0
+        capsys.readouterr()
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_shipped_tree_reports_files_checked(fmt, capsys):
+    assert main(["--root", str(REPO_ROOT), "--format", fmt]) == 0
+    out = capsys.readouterr().out
+    if fmt == "json":
+        assert json.loads(out)["checked_files"] > 50
+    else:
+        assert "files" in out

@@ -1,0 +1,140 @@
+"""Positive and negative cases for every shipped rule, over the
+fixture trees in ``tests/analysis/fixtures/``."""
+
+from repro.analysis.rules import (
+    RULE_CLASSES,
+    all_rules,
+    rules_by_id,
+    select_rules,
+)
+
+import pytest
+
+
+def by_file(findings):
+    grouped = {}
+    for finding in findings:
+        grouped.setdefault(finding.path.split("/")[-1],
+                           []).append(finding)
+    return grouped
+
+
+class TestRegistry:
+    def test_ids_are_unique_and_well_formed(self):
+        ids = [cls.rule_id for cls in RULE_CLASSES]
+        assert len(set(ids)) == len(ids)
+        for rule_id in ids:
+            assert len(rule_id) == 6 and rule_id[:3].isalpha() \
+                and rule_id[3:].isdigit()
+
+    def test_expected_rules_present(self):
+        assert set(rules_by_id()) == {
+            "API001", "CTR001", "DET001", "DET002",
+            "EXC001", "TRC001", "TRC002",
+        }
+
+    def test_all_rules_returns_fresh_instances(self):
+        first, second = all_rules(), all_rules()
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            select_rules(["NOPE99"])
+
+
+class TestDet001:
+    def test_flags_every_wall_clock_form(self, check_fixture):
+        findings, _ = check_fixture("det001", ["DET001"])
+        grouped = by_file(findings)
+        bad = grouped.pop("bad_clock.py")
+        # time.time, aliased perf_counter, renamed monotonic,
+        # datetime.now - one finding each.
+        assert len(bad) == 4
+        assert all(f.rule_id == "DET001" and f.severity == "error"
+                   for f in bad)
+        joined = " ".join(f.message for f in bad)
+        assert "time.time" in joined
+        assert "walltime.perf_counter" in joined
+        assert "datetime.now" in joined
+        # good_clock.py (time.sleep, simulated ns) and the allowlisted
+        # bench/experiments/latency.py produce nothing.
+        assert grouped == {}
+
+
+class TestDet002:
+    def test_flags_global_rng_outside_allowlist(self, check_fixture):
+        findings, _ = check_fixture("det002", ["DET002"])
+        grouped = by_file(findings)
+        bad = grouped.pop("bad_random.py")
+        # `import random` and `from random import choice`.
+        assert len(bad) == 2
+        # good_random.py (injected stream) and the allowlisted
+        # sim/rng.py produce nothing.
+        assert grouped == {}
+
+
+class TestTrc001:
+    def test_unregistered_literal_kind_flagged(self, check_fixture):
+        findings, _ = check_fixture("tracing", ["TRC001"])
+        assert len(findings) == 1
+        assert findings[0].path.endswith("emitter.py")
+        assert "bogus_kind" in findings[0].message
+
+    def test_no_registry_means_no_audit(self, check_fixture):
+        # A tree without EVENT_KINDS (e.g. the det001 fixture) cannot
+        # be audited and must not produce spurious findings.
+        findings, _ = check_fixture("det001", ["TRC001"])
+        assert findings == []
+
+
+class TestTrc002:
+    def test_dead_registered_kind_flagged(self, check_fixture):
+        findings, _ = check_fixture("tracing", ["TRC002"])
+        assert len(findings) == 1
+        assert findings[0].path.endswith("trace.py")
+        assert "never_emitted" in findings[0].message
+        # Anchored at the kind's own definition line in the registry.
+        assert findings[0].source_line == '"never_emitted",'
+
+
+class TestApi001:
+    def test_drifted_default_flagged_sugar_tolerated(self,
+                                                     check_fixture):
+        findings, _ = check_fixture("api001", ["API001"])
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.path.endswith("facade.py")
+        assert "connect" in finding.message
+        assert "'syscall'" in finding.message
+        # __init__ (kw-only tightening) and connect_default (facade
+        # sugar) produced nothing.
+
+
+class TestCtr001:
+    def test_contract_violations(self, check_fixture):
+        findings, _ = check_fixture("ctr001", ["CTR001"])
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 3
+        # LeakyTransport: missing both chains.
+        assert any("LeakyTransport.__init__" in m for m in messages)
+        assert any("LeakyTransport" in m and "close()" in m
+                   for m in messages)
+        # HalfClosedTransport: close() without super().close().
+        assert any("HalfClosedTransport.close" in m for m in messages)
+        # GoodTransport and StatelessTransport produced nothing.
+        assert not any("GoodTransport" in m or "StatelessTransport" in m
+                       for m in messages)
+
+
+class TestExc001:
+    def test_swallowed_exceptions_flagged(self, check_fixture):
+        findings, _ = check_fixture("exc001", ["EXC001"])
+        grouped = by_file(findings)
+        bad = grouped.pop("bad_except.py")
+        assert len(bad) == 2
+        joined = " ".join(f.message for f in bad)
+        assert "bare" in joined
+        assert "swallows" in joined
+        # good_except.py (named / recorded-and-reraised) and the
+        # allowlisted core/persistence.py produce nothing.
+        assert grouped == {}
