@@ -99,8 +99,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="collect latency histograms and counters; "
                              "print a metrics snapshot after the run")
     parser.add_argument("--seed", type=int, metavar="N",
-                        help="deterministic seed forwarded to drivers "
-                             "that accept one (e.g. tenants)")
+                        help="RNG seed forwarded to drivers that accept "
+                             "one (e.g. tenants): same seed, "
+                             "byte-identical report")
+    chaos = parser.add_argument_group(
+        "chaos options (tenants --chaos)"
+    )
+    chaos.add_argument("--chaos", action="store_true",
+                       help="run the tenants driver's seeded "
+                            "crash/reshard chaos schedule")
+    chaos.add_argument("--replicas", type=int, metavar="K",
+                       help="follower replicas per shard (default 2)")
+    chaos.add_argument("--reshard-at", metavar="ROUND:SHARDS[,...]",
+                       help="live-reshard schedule, e.g. '6:4,14:3'")
+    chaos.add_argument("--rounds", type=int, metavar="N",
+                       help="chaos rounds to run")
+    chaos.add_argument("--ops-per-round", type=int, metavar="N",
+                       help="client operations per chaos round")
+    chaos.add_argument("--crash-rate", type=float, metavar="P",
+                       help="per-round shard-crash probability")
+    chaos.add_argument("--snapshot-out", metavar="PATH",
+                       help="write the final chaos domain state as "
+                            "JSON to PATH")
     parsed = parser.parse_args(argv)
 
     if parsed.command is None:
@@ -122,6 +142,21 @@ def main(argv: list[str] | None = None) -> int:
         passthrough.append("--metrics")
     if parsed.seed is not None:
         passthrough.extend(["--seed", str(parsed.seed)])
+    if parsed.chaos:
+        passthrough.append("--chaos")
+    if parsed.replicas is not None:
+        passthrough.extend(["--replicas", str(parsed.replicas)])
+    if parsed.reshard_at is not None:
+        passthrough.extend(["--reshard-at", parsed.reshard_at])
+    if parsed.rounds is not None:
+        passthrough.extend(["--rounds", str(parsed.rounds)])
+    if parsed.ops_per_round is not None:
+        passthrough.extend(["--ops-per-round",
+                            str(parsed.ops_per_round)])
+    if parsed.crash_rate is not None:
+        passthrough.extend(["--crash-rate", str(parsed.crash_rate)])
+    if parsed.snapshot_out is not None:
+        passthrough.extend(["--snapshot-out", parsed.snapshot_out])
     if parsed.command == "models":
         return cmd_models(passthrough)
     if parsed.command == "all":

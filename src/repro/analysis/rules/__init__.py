@@ -14,6 +14,7 @@ from repro.analysis.rules.base import Rule
 from repro.analysis.rules.contracts import (
     FacadeParityRule,
     NoSwallowedExceptionsRule,
+    ReplicaReadOnlyRule,
     TransportCloseRule,
 )
 from repro.analysis.rules.determinism import (
@@ -32,6 +33,7 @@ RULE_CLASSES: tuple[Type[Rule], ...] = (
     NoWallClockRule,         # DET001
     SeededRngOnlyRule,       # DET002
     NoSwallowedExceptionsRule,  # EXC001
+    ReplicaReadOnlyRule,        # REP001
     RegisteredTraceKindsRule,   # TRC001
     NoDeadTraceKindsRule,       # TRC002
 )

@@ -1,12 +1,14 @@
 """Contract rules: facade/kernel parity, transport close, no silent
-exception swallowing.
+exception swallowing, read-only replicas.
 
 These are the API promises other layers build on: the
 :class:`~repro.core.service.PredictionService` facade advertises the
 kernel's signatures unchanged (bit-identity claims are meaningless if
 callers cannot swap one for the other), every stateful transport
-participates in the ``close()`` lifecycle, and failures are either
-handled or propagated - never silently dropped.
+participates in the ``close()`` lifecycle, failures are either
+handled or propagated - never silently dropped - and follower
+replicas are strictly read-only (a writing replica forks the
+replicated state and breaks every promotion/staleness guarantee).
 """
 
 from __future__ import annotations
@@ -16,7 +18,12 @@ from typing import Iterator
 
 from repro.analysis.engine import FileContext, Project
 from repro.analysis.findings import Finding
-from repro.analysis.rules.base import Rule, calls_method_on_super
+from repro.analysis.rules.base import (
+    Rule,
+    calls_method_on_super,
+    dotted_name,
+    walk_calls,
+)
 
 #: (facade class, kernel class) pairs whose public signatures must match
 FACADE_PAIRS = (("PredictionService", "ShardedService"),)
@@ -228,3 +235,79 @@ class NoSwallowedExceptionsRule(Rule):
     def _only_passes(node: ast.ExceptHandler) -> bool:
         return all(isinstance(statement, ast.Pass)
                    for statement in node.body)
+
+
+class ReplicaReadOnlyRule(Rule):
+    """REP001: replica/follower types never train their domains.
+
+    The replication design rests on followers being *pure snapshots*:
+    a follower that applies ``update()``/``train()`` to a domain or
+    model diverges from its primary, so a later promotion would
+    resurrect forked weights and the bounded-staleness guarantee (a
+    failover answer is the primary's state as of some sync) would be
+    silently false.  Any class whose name marks it as a replica-side
+    type (``Replica``/``Follower``) must therefore neither define a
+    mutating ``update``/``train`` method nor call one on model-side
+    state.  Plain-container mutation (``self._cache.update(...)``) is
+    fine - only receivers that name model-side state are flagged.
+    """
+
+    rule_id = "REP001"
+    description = ("replica/follower classes never call update()/"
+                   "train() on domain or model state")
+
+    #: class-name fragments that mark a replica-side type
+    CLASS_MARKERS = ("Replica", "Follower")
+
+    #: method names that mutate learned state
+    MUTATORS = frozenset({"update", "train"})
+
+    #: receiver-name fragments that identify model-side state (a
+    #: receiver chain like ``self._domains[n].model`` or
+    #: ``shard.domains[name]``); dict/set receivers like ``_cache``
+    #: match none of these
+    RECEIVER_MARKERS = ("domain", "model", "follower", "primary",
+                        "target", "shard")
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(marker in node.name
+                       for marker in self.CLASS_MARKERS):
+                continue
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if method.name in self.MUTATORS:
+                    yield ctx.finding(
+                        self.rule_id, method.lineno,
+                        f"{node.name}.{method.name} defines a mutator "
+                        f"on a replica type: followers are read-only "
+                        f"snapshots and must never learn",
+                    )
+                    continue
+                yield from self._check_calls(ctx, node, method)
+
+    def _check_calls(self, ctx: FileContext, cls: ast.ClassDef,
+                     method: ast.FunctionDef) -> Iterator[Finding]:
+        for call in walk_calls(method):
+            func = call.func
+            if not isinstance(func, ast.Attribute) \
+                    or func.attr not in self.MUTATORS:
+                continue
+            receiver_node = func.value
+            # Peel subscripts so ``shard.domains[name].update(...)``
+            # resolves to the ``shard.domains`` chain.
+            while isinstance(receiver_node, ast.Subscript):
+                receiver_node = receiver_node.value
+            receiver = dotted_name(receiver_node).lower()
+            if any(marker in receiver
+                   for marker in self.RECEIVER_MARKERS):
+                yield ctx.finding(
+                    self.rule_id, call.lineno,
+                    f"{cls.name}.{method.name} calls "
+                    f".{func.attr}() on {receiver or 'model-side'} "
+                    f"state: replicas must stay read-only",
+                )

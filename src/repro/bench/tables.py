@@ -189,23 +189,46 @@ def shard_table(summaries) -> str:
                 cells.append(f"{snap[key]:.2f}" if snap else "-")
         return cells
 
+    with_replicas = any("replica_lag" in s for s in summaries)
+
     rows = []
     for summary in summaries:
         latency = summary["latency"]
+        shard_cell = str(summary["shard"])
+        if summary.get("down"):
+            shard_cell += "!"
         row = [
-            summary["shard"],
+            shard_cell,
+            summary.get("slots", "-"),
             summary["domains"],
             summary["predictions"],
             summary["updates"],
             f"{latency.total_ns / 1e3:.1f}",
         ]
+        if with_replicas:
+            row.append(summary.get("replica_lag", "-"))
+            row.append(summary.get("failover_predictions", 0))
         if with_percentiles:
             row.extend(percentile_cells(summary))
         rows.append(row)
-    headers = ["shard", "domains", "predicts", "updates", "total-us"]
+    headers = ["shard", "slots", "domains", "predicts", "updates",
+               "total-us"]
+    if with_replicas:
+        headers.extend(["lag", "failovers"])
     if with_percentiles:
         headers.extend(["vdso-p50", "vdso-p99", "sys-p50", "sys-p99"])
     return format_table(headers, rows)
+
+
+def chaos_table(rows) -> str:
+    """Chaos-schedule outcome table for the ``tenants --chaos`` driver.
+
+    One row per injected event class: crashes, promotions, reshards,
+    migration stalls, and the update-loss accounting the headline
+    invariant is stated over (lost *inside* the documented flush/down
+    window vs. lost silently, which must be zero).
+    """
+    return format_table(["event", "count"], rows)
 
 
 def tenant_table(usage_rows) -> str:

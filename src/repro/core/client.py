@@ -206,6 +206,15 @@ class ResilientClient(PSSClient):
       .QuotaExceededError`) are served by the same static fallback but
       are **never retried** and never trip the breaker: a retry cannot
       un-exhaust a budget, and the transport itself is healthy.
+    * Shard crashes compose with the kernel's own failover ladder: a
+      down shard's predictions are first served by its follower
+      replicas (inside the handle, bounded-stale), and only when no
+      follower holds the domain does the resulting
+      :class:`~repro.core.errors.ShardDownError` - a
+      :class:`~repro.core.errors.TransportFault` - reach this client,
+      where it retries/falls back like any other transport fault.
+      Buffered updates lost to a mid-flush crash are reported on
+      ``stats`` as dropped, exactly like an undelivered batch.
     """
 
     def __init__(self, handle: DomainHandle,

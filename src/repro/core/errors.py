@@ -88,6 +88,31 @@ class TransportFault(TransportError):
         self.lost_records = lost_records
 
 
+class ShardDownError(TransportFault):
+    """The shard owning the target domain is crashed and cannot serve.
+
+    Raised when an operation reaches a shard whose primary is down and
+    no replica can absorb it: updates and resets always fail (replicas
+    are read-only), and predictions fail only when no follower holds
+    the domain.  Modeled as a :class:`TransportFault` (simulated
+    ``EHOSTDOWN``) so the resilient client's retry/breaker/fallback
+    machinery treats a crashed shard like any other transient boundary
+    failure - a later retry may land after a
+    :class:`~repro.core.kernel.replica.ReplicaPromoter` revived the
+    shard.
+    """
+
+    def __init__(self, shard_id: int, domain: str = "",
+                 lost_records: int = 0) -> None:
+        super().__init__(
+            "EHOSTDOWN", lost_records,
+            f"shard {shard_id} is down"
+            + (f" (domain {domain!r})" if domain else ""),
+        )
+        self.shard_id = shard_id
+        self.domain = domain
+
+
 class ModelError(PSSError):
     """A predictor model violated the :class:`PredictorModel` contract."""
 

@@ -23,6 +23,13 @@ Injected failure modes:
 * **snapshot corruption** - checkpoint bytes are bit-flipped on their
   way to disk, which the persistence layer must *detect* (checksum)
   rather than silently restore.
+* **shard crashes** - a shard's primary loses its in-memory state and
+  stops serving; reads fail over to follower replicas, writes fail
+  with :class:`~repro.core.errors.ShardDownError` until a promotion.
+* **migration stalls** - one live-resharding slot handoff makes no
+  progress this step (the migrator retries it later).
+* **replica lag** - one follower refresh is skipped, leaving that
+  replica a generation (or more) behind its primary.
 
 Everything is reproducible: the same plan (same seed, same rates)
 attached to the same workload injects the identical fault sequence.
@@ -51,6 +58,12 @@ class FaultPlan:
     ``flush_drop_rate``/``partial_flush_rate`` to every batch flush (on
     top of the syscall rate), and ``corruption_rate`` to every snapshot
     checkpoint write.
+
+    The kernel-side chaos rates are consulted by the sharded kernel
+    rather than by transports: ``shard_crash_rate`` per crash
+    opportunity the driver offers (e.g. once per chaos round),
+    ``migration_stall_rate`` per live-resharding slot handoff, and
+    ``replica_lag_rate`` per follower refresh.
     """
 
     seed: int = 0
@@ -59,6 +72,9 @@ class FaultPlan:
     flush_drop_rate: float = 0.0
     partial_flush_rate: float = 0.0
     corruption_rate: float = 0.0
+    shard_crash_rate: float = 0.0
+    migration_stall_rate: float = 0.0
+    replica_lag_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for spec in fields(self):
@@ -76,10 +92,13 @@ class FaultPlan:
 
     @classmethod
     def uniform(cls, rate: float, seed: int = 0) -> "FaultPlan":
-        """A plan injecting every fault kind at ``rate``.
+        """A plan injecting every *transport-level* fault at ``rate``.
 
         The flush budget is split evenly between full drops and partial
         deliveries.  This is the single knob the fault ablation sweeps.
+        The kernel chaos rates (shard crash / migration stall / replica
+        lag) stay zero: they need a sharded, replicated service to mean
+        anything and are driven explicitly by the chaos harness.
         """
         return cls(
             seed=seed,
@@ -107,12 +126,16 @@ class FaultStats:
     dropped_flushes: int = 0
     partial_flushes: int = 0
     corrupted_snapshots: int = 0
+    shard_crashes: int = 0
+    migration_stalls: int = 0
+    replica_lags: int = 0
 
     @property
     def total(self) -> int:
         return (self.syscall_faults + self.stale_reads
                 + self.dropped_flushes + self.partial_flushes
-                + self.corrupted_snapshots)
+                + self.corrupted_snapshots + self.shard_crashes
+                + self.migration_stalls + self.replica_lags)
 
 
 class FaultInjector:
@@ -190,6 +213,36 @@ class FaultInjector:
         self.stats.corrupted_snapshots += 1
         if self.tracer.enabled:
             self._trace_injection("snapshot_corruption")
+        return True
+
+    def shard_crash(self) -> bool:
+        """Whether one crash opportunity takes a shard's primary down."""
+        rate = self.plan.shard_crash_rate
+        if rate <= 0.0 or self._rng.random() >= rate:
+            return False
+        self.stats.shard_crashes += 1
+        if self.tracer.enabled:
+            self._trace_injection("shard_crash")
+        return True
+
+    def migration_stall(self) -> bool:
+        """Whether one slot handoff stalls (no progress this step)."""
+        rate = self.plan.migration_stall_rate
+        if rate <= 0.0 or self._rng.random() >= rate:
+            return False
+        self.stats.migration_stalls += 1
+        if self.tracer.enabled:
+            self._trace_injection("migration_stall")
+        return True
+
+    def replica_lag(self) -> bool:
+        """Whether one follower refresh is skipped (the replica lags)."""
+        rate = self.plan.replica_lag_rate
+        if rate <= 0.0 or self._rng.random() >= rate:
+            return False
+        self.stats.replica_lags += 1
+        if self.tracer.enabled:
+            self._trace_injection("replica_lag")
         return True
 
     def corrupt_text(self, text: str) -> str:

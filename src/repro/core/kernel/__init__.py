@@ -3,10 +3,13 @@
 Layer diagram (see ``docs/ARCHITECTURE.md``)::
 
     ShardedService            kernel facade: routing + admission + obs
-      ├─ ShardRouter          stable name -> shard placement
+      ├─ ShardRouter          slot-ring name -> shard placement
+      │    └─ SlotRing        N virtual slots, migratable one at a time
       ├─ AdmissionController  per-tenant quotas (domains/updates/predicts)
+      ├─ SlotMigrator         live reshard: slot-granular handoff
       └─ Shard[0..N)          domains + per-shard stats/latency
-           └─ Domain          model + config + policy + stats
+           ├─ Domain          model + config + policy + stats
+           └─ ShardReplica[K] read-only followers (failover reads)
                 ▲
           DomainHandle        policy- & admission-checked view
                 ▲
@@ -15,7 +18,10 @@ Layer diagram (see ``docs/ARCHITECTURE.md``)::
           PSSClient / ResilientClient
 
 :class:`~repro.core.service.PredictionService` is the single-shard,
-API-compatible facade over :class:`ShardedService`.
+API-compatible facade over :class:`ShardedService`.  Recovery paths:
+:class:`ShardedCheckpointManager` (per-shard snapshots + manifest) and
+:class:`ReplicaPromoter` (zero-downtime promotion of a crashed shard
+from its freshest followers).
 """
 
 from repro.core.kernel.admission import (
@@ -26,14 +32,27 @@ from repro.core.kernel.admission import (
 )
 from repro.core.kernel.checkpoint import (
     MANIFEST_NAME,
+    RecoveryResult,
     ShardView,
     ShardedCheckpointManager,
     shard_file_name,
 )
 from repro.core.kernel.domain import Domain, DomainHandle
+from repro.core.kernel.migrate import MigrationReport, SlotMigrator
+from repro.core.kernel.replica import (
+    FollowerDomain,
+    PromotionReport,
+    ReplicaPromoter,
+    ShardReplica,
+)
 from repro.core.kernel.service import ShardedService
 from repro.core.kernel.shard import Shard
-from repro.core.kernel.sharding import ShardRouter
+from repro.core.kernel.sharding import (
+    DEFAULT_SLOTS,
+    ShardRouter,
+    SlotMove,
+    SlotRing,
+)
 
 __all__ = [
     "AdmissionController",
@@ -41,12 +60,22 @@ __all__ = [
     "TenantUsage",
     "UNLIMITED",
     "MANIFEST_NAME",
+    "RecoveryResult",
     "ShardView",
     "ShardedCheckpointManager",
     "shard_file_name",
     "Domain",
     "DomainHandle",
+    "MigrationReport",
+    "SlotMigrator",
+    "FollowerDomain",
+    "PromotionReport",
+    "ReplicaPromoter",
+    "ShardReplica",
     "ShardedService",
     "Shard",
+    "DEFAULT_SLOTS",
     "ShardRouter",
+    "SlotMove",
+    "SlotRing",
 ]

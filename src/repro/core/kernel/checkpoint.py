@@ -57,6 +57,31 @@ def shard_file_name(shard_id: int) -> str:
     return f"shard-{shard_id:04d}.json"
 
 
+class RecoveryResult(int):
+    """How a best-effort recovery went: an ``int`` (shards restored,
+    so existing ``recover() == n`` callers keep working) that also
+    carries the shard files that had to be *skipped* - recovery is
+    allowed to lose a corrupt shard, but never to lose it silently.
+    """
+
+    #: shard file names skipped by this recovery (corrupt or missing)
+    skipped: tuple[str, ...]
+    #: the validation error recorded for each skipped file, in order
+    errors: tuple[str, ...]
+
+    def __new__(cls, restored: int,
+                skipped: tuple[str, ...] = (),
+                errors: tuple[str, ...] = ()) -> "RecoveryResult":
+        result = super().__new__(cls, restored)
+        result.skipped = skipped
+        result.errors = errors
+        return result
+
+    @property
+    def restored(self) -> int:
+        return int(self)
+
+
 class ShardView:
     """The slice of the service-persistence protocol for one shard.
 
@@ -132,26 +157,35 @@ class ShardedCheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.interval = interval
         self.include_stats = include_stats
+        self.injector = injector
         self.tracer: TracerLike = (tracer if tracer is not None
                                    else service.tracer)
-        self._managers = [
-            CheckpointManager(
-                ShardView(service, shard.shard_id),
-                self.directory / shard_file_name(shard.shard_id),
-                interval=interval,
-                include_stats=include_stats,
-                injector=injector,
-                tracer=self.tracer,
-            )
-            for shard in service.shards
-        ]
-        #: last-checkpointed dirty signature per shard (None = never)
-        self._written_signatures: list[tuple[Any, ...] | None] = \
-            [None] * service.num_shards
+        # Inner managers are created lazily per shard id so the manager
+        # stays correct across live reshards: shards grown after
+        # construction get a manager on first checkpoint, shards
+        # truncated away simply stop being visited.
+        self._manager_factory = CheckpointManager
+        self._managers: dict[int, Any] = {}
+        #: last-checkpointed dirty signature per shard id (absent = never)
+        self._written_signatures: dict[int, tuple[Any, ...]] = {}
         self.ticks = 0
         self.checkpoints_written = 0
         self.corrupt_detected = 0
         self.last_error: str | None = None
+
+    def _manager(self, shard_id: int) -> Any:
+        manager = self._managers.get(shard_id)
+        if manager is None:
+            manager = self._manager_factory(
+                ShardView(self.service, shard_id),
+                self.directory / shard_file_name(shard_id),
+                interval=self.interval,
+                include_stats=self.include_stats,
+                injector=self.injector,
+                tracer=self.tracer,
+            )
+            self._managers[shard_id] = manager
+        return manager
 
     @property
     def manifest_path(self) -> Path:
@@ -174,7 +208,7 @@ class ShardedCheckpointManager:
 
     def checkpoint_shard(self, shard_id: int) -> None:
         """Unconditionally checkpoint one shard and refresh the manifest."""
-        self._managers[shard_id].checkpoint()
+        self._manager(shard_id).checkpoint()
         self._written_signatures[shard_id] = \
             self.service.shard(shard_id).dirty_signature()
         self.checkpoints_written += 1
@@ -185,16 +219,25 @@ class ShardedCheckpointManager:
 
         A shard is dirty when its :meth:`~repro.core.kernel.shard.Shard
         .dirty_signature` moved since its last checkpoint - cold shards
-        cost nothing, which is the point of sharded state.
+        cost nothing, which is the point of sharded state.  A *down*
+        shard is never checkpointed: its in-memory models are the
+        post-crash cold state, and overwriting the last good snapshot
+        with it would turn a transient crash into durable data loss.
         """
         written = 0
+        live_ids = set()
         for shard in self.service.shards:
-            signature = shard.dirty_signature()
-            if signature == self._written_signatures[shard.shard_id]:
+            live_ids.add(shard.shard_id)
+            if shard.down:
                 continue
-            self._managers[shard.shard_id].checkpoint()
+            signature = shard.dirty_signature()
+            if signature == self._written_signatures.get(shard.shard_id):
+                continue
+            self._manager(shard.shard_id).checkpoint()
             self._written_signatures[shard.shard_id] = signature
             written += 1
+        for gone in set(self._written_signatures) - live_ids:
+            del self._written_signatures[gone]
         if written:
             self.checkpoints_written += written
             self._write_manifest()
@@ -248,34 +291,58 @@ class ShardedCheckpointManager:
             return None
         return manifest
 
-    def recover(self) -> int:
+    def _skip(self, shard_key: str, file_name: str, reason: str) -> None:
+        """Record one unrecoverable shard file - counted, remembered,
+        and *traced*: a silently dropped shard is indistinguishable
+        from a clean cold start, which is how snapshots get lost."""
+        self.corrupt_detected += 1
+        self.last_error = reason
+        if self.tracer.enabled:
+            self.tracer.record(
+                "checkpoint.corrupt", transport="checkpoint",
+                shard=shard_key,
+                detail={"file": file_name, "reason": reason},
+            )
+
+    def recover(self) -> RecoveryResult:
         """Restore every recoverable shard; returns how many restored.
 
         A missing manifest is a clean cold start (0).  Each shard file
         is validated twice - against the manifest's whole-file CRC and
-        against the snapshot's embedded domain checksum - and skipped,
-        with ``corrupt_detected``/``last_error`` updated, when either
-        fails.  A manifest written with a different shard count still
-        restores: domains re-route through the live service's router.
+        against the snapshot's embedded domain checksum - and skipped
+        when either fails.  Every skip updates
+        ``corrupt_detected``/``last_error``, emits a
+        ``checkpoint.corrupt`` trace event, and lands in the returned
+        :class:`RecoveryResult`'s ``skipped`` list, so callers can see
+        exactly which shards' learned state was lost rather than
+        inferring it from missing domains.  A manifest written with a
+        different shard count still restores: domains re-route through
+        the live service's router.
         """
         from repro.core.persistence import CheckpointManager
 
         manifest = self.read_manifest()
         if manifest is None:
-            return 0
+            return RecoveryResult(0)
         restored = 0
-        for entry in manifest.get("shards", {}).values():
+        skipped: list[str] = []
+        errors: list[str] = []
+        for shard_key, entry in manifest.get("shards", {}).items():
             path = self.directory / entry["file"]
             if not path.exists():
-                self.corrupt_detected += 1
-                self.last_error = f"missing shard file {entry['file']}"
+                reason = f"missing shard file {entry['file']}"
+                self._skip(shard_key, entry["file"], reason)
+                skipped.append(entry["file"])
+                errors.append(reason)
                 continue
             text = path.read_text()
             if zlib.crc32(text.encode("utf-8")) != entry.get("checksum"):
-                self.corrupt_detected += 1
-                self.last_error = (
+                reason = (
                     f"manifest checksum mismatch for {entry['file']}"
                 )
+                self._skip(shard_key, entry["file"], reason)
+                skipped.append(entry["file"])
+                errors.append(reason)
                 continue
             # Restore through shard 0's view: creation re-routes every
             # domain by name, so the view's shard does not constrain
@@ -289,7 +356,15 @@ class ShardedCheckpointManager:
             if manager.recover():
                 restored += 1
             else:
-                self.corrupt_detected += manager.corrupt_detected
-                if manager.last_error:
-                    self.last_error = manager.last_error
-        return restored
+                reason = manager.last_error or (
+                    f"unreadable snapshot {entry['file']}"
+                )
+                self._skip(shard_key, entry["file"], reason)
+                # _skip counted the failure once; fold in any extra
+                # detections the inner manager made beyond its own.
+                self.corrupt_detected += max(
+                    0, manager.corrupt_detected - 1
+                )
+                skipped.append(entry["file"])
+                errors.append(reason)
+        return RecoveryResult(restored, tuple(skipped), tuple(errors))

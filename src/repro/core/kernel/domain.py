@@ -15,12 +15,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import PSSConfig
+from repro.core.errors import ShardDownError
 from repro.core.models import PredictorModel
 from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
 from repro.core.stats import DomainReport, PredictionStats
 
 if TYPE_CHECKING:
     from repro.core.kernel.admission import AdmissionController
+    from repro.core.kernel.shard import Shard
 
 
 @dataclass
@@ -44,6 +46,10 @@ class Domain:
     shard_label: str = ""
     #: identity charged for this domain by admission control, if any
     created_by: ClientIdentity | None = None
+    #: back-reference to the owning :class:`~repro.core.kernel.shard
+    #: .Shard` (None for domains never hosted by a sharded service);
+    #: restamped by migration, consulted by handles for crash failover
+    shard: "Shard | None" = field(default=None, repr=False)
 
     @property
     def generation(self) -> int:
@@ -145,6 +151,12 @@ class DomainHandle:
         self._domain.policy.check_predict(self._identity, self._domain.name)
         if self._admission is not None:
             self._admission.charge_predict(self._identity)
+        shard = self._domain.shard
+        if shard is not None and shard.down:
+            # Crashed primary: serve the bounded-stale follower answer
+            # instead (raises ShardDownError when no follower holds
+            # the domain) - reads survive the outage.
+            return shard.failover_predict(self._domain, features)
         return self._domain.predict(features)
 
     def record_cached_prediction(self, score: int) -> None:
@@ -157,10 +169,18 @@ class DomainHandle:
 
     def update(self, features: Sequence[int], direction: bool) -> None:
         self._domain.policy.check_update(self._identity, self._domain.name)
+        shard = self._domain.shard
+        if shard is not None and shard.down:
+            # Replicas are read-only: the record cannot be applied
+            # anywhere, so refuse before charging the tenant's budget.
+            raise ShardDownError(shard.shard_id, self._domain.name)
         if self._admission is not None:
             self._admission.charge_update(self._identity)
         self._domain.update(features, direction)
 
     def reset(self, features: Sequence[int], reset_all: bool) -> None:
         self._domain.policy.check_reset(self._identity, self._domain.name)
+        shard = self._domain.shard
+        if shard is not None and shard.down:
+            raise ShardDownError(shard.shard_id, self._domain.name)
         self._domain.reset(features, reset_all)

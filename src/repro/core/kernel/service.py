@@ -28,15 +28,22 @@ from repro.core.config import (
     ResilienceConfig,
     ServiceConfig,
 )
-from repro.core.errors import DomainError
+from repro.core.errors import ConfigError, DomainError, ShardDownError
 from repro.core.kernel.admission import AdmissionController
 from repro.core.kernel.domain import Domain, DomainHandle
+from repro.core.kernel.migrate import MigrationReport, SlotMigrator
 from repro.core.kernel.shard import Shard
-from repro.core.kernel.sharding import ShardRouter
+from repro.core.kernel.sharding import ShardRouter, SlotRing
 from repro.core.models import create_model, ensure_builtin_models
 from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
 from repro.core.stats import DomainReport, ResilienceStats
-from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    MIGRATED_SLOTS_TOTAL,
+    REPLICA_LAG_GENERATIONS,
+    SHARD_CRASHES_TOTAL,
+)
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 if TYPE_CHECKING:
@@ -60,15 +67,28 @@ class ShardedService:
                  tracer: TracerLike | None = None,
                  metrics: MetricsRegistry | None = None,
                  num_shards: int = 1,
-                 admission: AdmissionController | None = None) -> None:
+                 admission: AdmissionController | None = None,
+                 num_replicas: int = 0) -> None:
         ensure_builtin_models()
         self.config = config or ServiceConfig()
         self.tracer: TracerLike = (tracer if tracer is not None
                                    else NULL_TRACER)
         self.metrics = metrics
         self.admission = admission
+        if num_replicas < 0:
+            raise ConfigError(
+                f"num_replicas must be >= 0, got {num_replicas}"
+            )
+        #: follower replicas attached to every shard (current and
+        #: future - shards grown by a reshard get the same K)
+        self.num_replicas = num_replicas
         self._router = ShardRouter(num_shards)
-        self._shards = [Shard(i) for i in range(num_shards)]
+        self._shards = [
+            Shard(i, tracer=self.tracer, num_replicas=num_replicas,
+                  metrics=metrics)
+            for i in range(num_shards)
+        ]
+        self._active_migration: SlotMigrator | None = None
         #: per-domain aggregate resilient-client stats (shared by every
         #: resilient client connect() opens on that domain)
         self._resilience_stats: dict[str, ResilienceStats] = {}
@@ -78,6 +98,11 @@ class ShardedService:
     @property
     def num_shards(self) -> int:
         return self._router.num_shards
+
+    @property
+    def ring(self) -> SlotRing:
+        """The slot ring placement table (shared with the router)."""
+        return self._router.ring
 
     @property
     def shards(self) -> tuple[Shard, ...]:
@@ -98,6 +123,137 @@ class ShardedService:
 
     def _domain_count(self) -> int:
         return sum(len(shard) for shard in self._shards)
+
+    # -- live resharding ---------------------------------------------------
+
+    def begin_reshard(self, new_shard_count: int,
+                      injector: FaultInjector | None = None
+                      ) -> SlotMigrator:
+        """Start an incremental live migration to ``new_shard_count``.
+
+        Returns the :class:`~repro.core.kernel.migrate.SlotMigrator`;
+        the caller drives it one slot handoff per ``step()``, with the
+        service fully live (and routing consistent) in between.  At
+        most one migration may be active at a time.
+        """
+        if self._active_migration is not None \
+                and not self._active_migration.done:
+            raise DomainError(
+                "a reshard is already in progress "
+                f"({self._active_migration.pending_slots} slots pending)"
+            )
+        migrator = SlotMigrator(self, new_shard_count, injector=injector)
+        self._active_migration = migrator
+        return migrator
+
+    def reshard(self, new_shard_count: int) -> MigrationReport:
+        """Run a complete live migration to ``new_shard_count``.
+
+        Equivalent to driving :meth:`begin_reshard` to completion with
+        no traffic interleaved; every handoff still follows the
+        generation-verified slot protocol, so scores are bit-identical
+        before and after.
+        """
+        for shard in self._shards:
+            if shard.down:
+                raise DomainError(
+                    f"cannot reshard while shard {shard.shard_id} is "
+                    f"down; promote it first"
+                )
+        migrator = self.begin_reshard(new_shard_count)
+        while not migrator.done:
+            migrator.step()
+        return migrator.report()
+
+    def grow_shards(self, new_shard_count: int) -> None:
+        """Extend the shard list for a growing migration (migrator
+        hook; the ring still routes every slot to its old owner until
+        the individual handoffs commit)."""
+        for shard_id in range(len(self._shards), new_shard_count):
+            self._shards.append(
+                Shard(shard_id, tracer=self.tracer,
+                      num_replicas=self.num_replicas,
+                      metrics=self.metrics)
+            )
+
+    def finish_reshard(self, new_shard_count: int) -> None:
+        """Finalize a completed migration (migrator hook): truncate
+        doomed shards (they are empty - their last slot was handed
+        off) and restamp every domain's obs label for the new
+        topology."""
+        if new_shard_count < len(self._shards):
+            for shard in self._shards[new_shard_count:]:
+                if shard.domains:  # pragma: no cover - protocol guard
+                    raise DomainError(
+                        f"shard {shard.shard_id} still hosts "
+                        f"{len(shard)} domains at reshard finalization"
+                    )
+            del self._shards[new_shard_count:]
+        for shard in self._shards:
+            label = str(shard.shard_id) if new_shard_count > 1 else ""
+            for domain in shard.domains.values():
+                domain.shard_label = label
+        if self.metrics is not None \
+                and self._active_migration is not None:
+            self.metrics.counter(MIGRATED_SLOTS_TOTAL).inc(
+                self._active_migration.moved_slots
+            )
+
+    # -- crash / failover / replication ------------------------------------
+
+    def crash_shard(self, shard_id: int) -> None:
+        """Fault-inject a primary crash: destroy the shard's in-memory
+        model state and mark it down.
+
+        Domains stay registered (their stats and identity survive, as
+        directory metadata would) but every model restarts cold with a
+        generation strictly above all pre-crash values, so stale score
+        caches self-invalidate.  Reads fail over to follower replicas;
+        writes raise :class:`~repro.core.errors.ShardDownError` until a
+        :class:`~repro.core.kernel.replica.ReplicaPromoter` revives the
+        shard.
+        """
+        shard = self.shard(shard_id)
+        if shard.down:
+            raise DomainError(f"shard {shard_id} is already down")
+        for name in sorted(shard.domains):
+            domain = shard.domains[name]
+            survivor_generation = domain.generation
+            domain.model = create_model(domain.model_name, domain.config)
+            domain.generation_offset = survivor_generation + 1
+        shard.down = True
+        if self.tracer.enabled:
+            self.tracer.record(
+                "shard_crash", transport="kernel",
+                detail={"domains": len(shard)},
+                shard=str(shard_id),
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                SHARD_CRASHES_TOTAL, shard=str(shard_id)
+            ).inc()
+
+    def sync_replicas(self, injector: FaultInjector | None = None) -> int:
+        """Refresh every up shard's follower replicas (a flush /
+        generation boundary); returns total followers refreshed.
+
+        Down shards are skipped: their primaries hold post-crash cold
+        state, and syncing would destroy the very follower snapshots a
+        promotion needs.
+        """
+        refreshed = 0
+        for shard in self._shards:
+            if shard.down or not shard.replicas:
+                continue
+            for replica in shard.replicas:
+                refreshed += replica.sync(
+                    shard, injector=injector, tracer=self.tracer
+                )
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    REPLICA_LAG_GENERATIONS, shard=str(shard.shard_id)
+                ).set(float(shard.replica_lag()))
+        return refreshed
 
     # -- domain management -------------------------------------------------
 
@@ -138,6 +294,7 @@ class ShardedService:
             created_by=identity,
         )
         shard.domains[name] = domain
+        domain.shard = shard
         return domain
 
     def domain(self, name: str) -> Domain:
@@ -154,6 +311,8 @@ class ShardedService:
         domain = shard.domains.pop(name, None)
         if domain is None:
             raise DomainError(f"unknown domain {name!r}")
+        domain.shard = None
+        shard._accounts.pop(name, None)
         if self.admission is not None and domain.created_by is not None:
             self.admission.release_domain(domain.created_by)
 
@@ -242,7 +401,9 @@ class ShardedService:
                 latency=self.config.latency,
                 batch_size=effective_batch,
             )
-        self._shards[domain.shard_id].register_account(client.latency)
+        self._shards[domain.shard_id].register_account(
+            client.latency, domain.name
+        )
         if self.tracer.enabled or self.metrics is not None:
             client.attach_observability(
                 tracer=self.tracer if self.tracer.enabled else None,
@@ -259,18 +420,34 @@ class ShardedService:
     # -- paper-signature convenience (kernel-internal callers) --------------
 
     def predict(self, name: str, features: Sequence[int]) -> int:
-        """Direct in-kernel predict; no transport latency is charged."""
-        return self.domain(name).predict(features)
+        """Direct in-kernel predict; no transport latency is charged.
+
+        Follows the same failover rule as client handles: a crashed
+        shard's predictions are served by its freshest follower.
+        """
+        domain = self.domain(name)
+        shard = domain.shard
+        if shard is not None and shard.down:
+            return shard.failover_predict(domain, features)
+        return domain.predict(features)
 
     def update(self, name: str, features: Sequence[int],
                direction: bool) -> None:
-        """Direct in-kernel update."""
-        self.domain(name).update(features, direction)
+        """Direct in-kernel update (refused while the shard is down)."""
+        domain = self.domain(name)
+        shard = domain.shard
+        if shard is not None and shard.down:
+            raise ShardDownError(shard.shard_id, name)
+        domain.update(features, direction)
 
     def reset(self, name: str, features: Sequence[int],
               reset_all: bool = False) -> None:
-        """Direct in-kernel reset."""
-        self.domain(name).reset(features, reset_all)
+        """Direct in-kernel reset (refused while the shard is down)."""
+        domain = self.domain(name)
+        shard = domain.shard
+        if shard is not None and shard.down:
+            raise ShardDownError(shard.shard_id, name)
+        domain.reset(features, reset_all)
 
     # -- introspection -------------------------------------------------------
 
@@ -305,10 +482,13 @@ class ShardedService:
     def shard_summaries(self) -> list[dict[str, Any]]:
         """Per-shard load view for shard-scaling reports.
 
-        One dict per shard: domain count, aggregate prediction/update
-        volume, the merged boundary-crossing account, and - when the
-        service carries a metrics registry - vDSO/syscall latency
-        percentile snapshots merged over the shard's domains.
+        One dict per shard: domain count, slots owned on the ring,
+        aggregate prediction/update volume, the merged
+        boundary-crossing account, liveness and failover counters, and
+        - when the service carries a metrics registry - vDSO/syscall
+        latency percentile snapshots merged over the shard's domains.
+        Replicated shards additionally report their worst follower lag
+        (``replica_lag``, in generations).
         """
         summaries: list[dict[str, Any]] = []
         for shard in self._shards:
@@ -318,11 +498,17 @@ class ShardedService:
                 "shard": shard.shard_id,
                 "domains": len(shard),
                 "domain_names": shard.domain_names(),
+                "slots": len(self.ring.slots_of(shard.shard_id)),
                 "predictions": stats.predictions,
                 "updates": stats.updates,
                 "latency": latency,
                 "latency_percentiles": {},
+                "down": shard.down,
+                "failover_predictions": shard.failover_predictions,
             }
+            if shard.replicas:
+                summary["replicas"] = len(shard.replicas)
+                summary["replica_lag"] = shard.replica_lag()
             if self.metrics is not None and shard.domains:
                 for path, metric in (("vdso_read_ns",
                                       "pss_vdso_read_ns"),

@@ -287,6 +287,10 @@ class CheckpointManager:
             self.last_error = str(exc)
             if self.tracer.enabled:
                 self.tracer.record(
+                    "checkpoint.corrupt", transport="checkpoint",
+                    detail={"file": self.path.name, "reason": str(exc)},
+                )
+                self.tracer.record(
                     "checkpoint_restore", transport="checkpoint",
                     detail={"ok": False, "error": str(exc)},
                 )

@@ -60,6 +60,8 @@ class PredictionService(ShardedService):
                  tracer: TracerLike | None = None,
                  metrics: MetricsRegistry | None = None, *,
                  num_shards: int = 1,
-                 admission: AdmissionController | None = None) -> None:
+                 admission: AdmissionController | None = None,
+                 num_replicas: int = 0) -> None:
         super().__init__(config=config, tracer=tracer, metrics=metrics,
-                         num_shards=num_shards, admission=admission)
+                         num_shards=num_shards, admission=admission,
+                         num_replicas=num_replicas)

@@ -28,6 +28,9 @@ class PredictionStats:
     #: predictions answered by a client-side score cache without
     #: re-evaluating the model (the weights had not changed)
     cached_predictions: int = 0
+    #: predictions served by a follower replica while the owning
+    #: shard's primary was down (bounded-stale answers)
+    failover_predictions: int = 0
 
     def record_prediction(self, score: int, threshold: int) -> None:
         self.predictions += 1
@@ -42,6 +45,16 @@ class PredictionStats:
         """
         self.record_prediction(score, threshold)
         self.cached_predictions += 1
+
+    def record_failover_prediction(self, score: int,
+                                   threshold: int) -> None:
+        """A prediction a follower replica served during an outage.
+
+        Counted as a normal prediction too: failover is transparent to
+        accuracy proxies and activity totals.
+        """
+        self.record_prediction(score, threshold)
+        self.failover_predictions += 1
 
     def record_update(self, direction: bool) -> None:
         self.updates += 1
@@ -73,6 +86,7 @@ class PredictionStats:
         self.penalties += other.penalties
         self.resets += other.resets
         self.cached_predictions += other.cached_predictions
+        self.failover_predictions += other.failover_predictions
 
 
 @dataclass

@@ -25,6 +25,7 @@ from typing import Protocol, Sequence
 from repro.core.config import LatencyModel
 from repro.core.errors import (
     AdmissionError,
+    ShardDownError,
     TransportClosedError,
     TransportError,
     TransportFault,
@@ -431,6 +432,7 @@ class VdsoTransport(Transport):
                     "lost_records": fault.lost_records,
                 })
         quota_error: AdmissionError | None = None
+        down_error: ShardDownError | None = None
         for index, (features, direction) in enumerate(records[:delivered]):
             try:
                 self._target.update(features, direction)
@@ -440,6 +442,13 @@ class VdsoTransport(Transport):
                 # and reported on the error like a lost batch.
                 quota_error = exc
                 quota_error.lost_records = delivered - index
+                break
+            except ShardDownError as exc:
+                # The owning shard crashed: the primary refuses writes
+                # until promotion, so the batch suffix is lost exactly
+                # like an undelivered crossing.
+                down_error = exc
+                down_error.lost_records = delivered - index
                 break
         if fault is not None:
             # The undelivered suffix is gone: updates are hints, and the
@@ -452,6 +461,13 @@ class VdsoTransport(Transport):
                     "lost_records": quota_error.lost_records,
                 })
             raise quota_error
+        if down_error is not None:
+            if self._tracer.enabled:
+                self._trace("fault", detail={
+                    "op": "flush", "errno": down_error.errno_name,
+                    "lost_records": down_error.lost_records,
+                })
+            raise down_error
 
 
 def make_transport(kind: str, target: ServiceTarget,

@@ -18,6 +18,14 @@ from __future__ import annotations
 import math
 from typing import Any, Iterator
 
+#: metric names the sharded kernel's resilience machinery emits, kept
+#: here (the instrument schema's home) so emitters and dashboards
+#: agree on spelling.  All are labeled ``{shard}``.
+SHARD_CRASHES_TOTAL = "pss_shard_crashes_total"
+FAILOVER_PREDICTIONS_TOTAL = "pss_failover_predictions_total"
+REPLICA_LAG_GENERATIONS = "pss_replica_lag_generations"
+MIGRATED_SLOTS_TOTAL = "pss_migrated_slots_total"
+
 
 class Counter:
     """Monotonically increasing count."""

@@ -39,6 +39,14 @@ EVENT_KINDS = frozenset({
     "breaker_close",      # circuit breaker recovered to CLOSED
     "checkpoint_save",    # CheckpointManager wrote a snapshot
     "checkpoint_restore", # CheckpointManager attempted recovery
+    "checkpoint.corrupt", # a shard/snapshot file failed validation
+    "shard_crash",        # a shard's primary lost its state (injected)
+    "migration_start",    # a slot handoff began (source still serving)
+    "migration_commit",   # a slot handoff committed (ring flipped)
+    "migration_stall",    # a slot handoff made no progress this step
+    "replica_sync",       # follower replicas refreshed from a primary
+    "replica_promote",    # follower state promoted into a downed shard
+    "failover",           # a predict was served by a follower replica
 })
 
 

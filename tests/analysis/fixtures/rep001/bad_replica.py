@@ -1,0 +1,34 @@
+"""Fixture: replica types that mutate learned state (REP001 hits)."""
+
+
+class LeakyShardReplica:
+    """Defines a mutator on a replica type: one finding."""
+
+    def __init__(self):
+        self.followers = {}
+
+    def update(self, features, direction):  # REP001: replicas never learn
+        for follower in self.followers.values():
+            follower.apply(features, direction)
+
+
+class EagerFollower:
+    """Calls update() on model-side receivers: two findings."""
+
+    def __init__(self, domain):
+        self.domain = domain
+
+    def refresh(self):
+        # Writing through to the domain forks the replicated state.
+        self.domain.model.update([1, 2], True)
+
+    def train_ahead(self, shard):
+        for name in shard.domains:
+            shard.domains[name].update([0, 0], False)
+
+
+class TrainerReplica:
+    """Defines train(): one finding."""
+
+    def train(self, batch):
+        return len(batch)

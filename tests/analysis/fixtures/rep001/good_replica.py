@@ -1,0 +1,36 @@
+"""Fixture: contract-compliant replica machinery (no REP001 findings)."""
+
+
+class CleanShardReplica:
+    """Read-only follower bookkeeping: snapshots in, predictions out."""
+
+    def __init__(self, shard_id):
+        self.shard_id = shard_id
+        self.followers = {}
+        self._cache = {}
+
+    def sync(self, shard):
+        # Dict mutation on a plain container is not model training.
+        self._cache.update({"last_sync": shard.generation})
+        for name, domain in shard.domains.items():
+            self.followers[name] = domain.model.to_state()
+
+    def predict(self, name, features):
+        return self.followers[name]["bias"]
+
+
+class FollowerDirectory:
+    """Holds follower snapshots; load_state is restoration, not learning."""
+
+    def restore(self, domain, snapshot):
+        domain.model.load_state(snapshot)
+
+
+class Coordinator:
+    """Not a replica type: may train its own domains freely."""
+
+    def __init__(self, domains):
+        self.domains = domains
+
+    def update(self, name, features, direction):
+        self.domains[name].update(features, direction)

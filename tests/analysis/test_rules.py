@@ -30,7 +30,7 @@ class TestRegistry:
     def test_expected_rules_present(self):
         assert set(rules_by_id()) == {
             "API001", "CTR001", "DET001", "DET002",
-            "EXC001", "TRC001", "TRC002",
+            "EXC001", "REP001", "TRC001", "TRC002",
         }
 
     def test_all_rules_returns_fresh_instances(self):
@@ -137,4 +137,24 @@ class TestExc001:
         assert "swallows" in joined
         # good_except.py (named / recorded-and-reraised) and the
         # allowlisted core/persistence.py produce nothing.
+        assert grouped == {}
+
+
+class TestRep001:
+    def test_replica_mutations_flagged(self, check_fixture):
+        findings, _ = check_fixture("rep001", ["REP001"])
+        grouped = by_file(findings)
+        bad = grouped.pop("bad_replica.py")
+        messages = sorted(f.message for f in bad)
+        # LeakyShardReplica.update + TrainerReplica.train (defined
+        # mutators) and EagerFollower's two write-through calls.
+        assert len(bad) == 4
+        assert any("LeakyShardReplica.update" in m for m in messages)
+        assert any("TrainerReplica.train" in m for m in messages)
+        assert sum("EagerFollower" in m for m in messages) == 2
+        assert all(f.rule_id == "REP001" and f.severity == "error"
+                   for f in bad)
+        # good_replica.py: dict .update on a cache, load_state
+        # restoration, and a non-replica coordinator training its own
+        # domains - none flagged.
         assert grouped == {}

@@ -1,0 +1,208 @@
+"""Live resharding: incremental slot handoff under traffic.
+
+The migration contract: the service is never paused (traffic
+interleaves with ``step()``), routing is consistent at every point,
+and scores are bit-identical to a service that never resharded -
+the *same* domain objects move, so there is nothing to drift.
+"""
+
+import pytest
+
+from repro.core import PredictionService, PSSConfig
+from repro.core.errors import DomainError
+from repro.core.faults import FaultInjector, FaultPlan
+from repro.core.kernel import ReplicaPromoter, ShardedCheckpointManager
+from repro.core.persistence import snapshot_service
+
+CONFIG = PSSConfig(num_features=1)
+
+NAMES = [f"domain-{i}" for i in range(12)]
+
+
+def populate(service, updates=3):
+    for name in NAMES:
+        service.create_domain(name, config=CONFIG)
+        for i in range(updates):
+            service.update(name, [i], bool(i % 2))
+
+
+def traffic(service, round_index):
+    for offset, name in enumerate(NAMES):
+        feature = (round_index + offset) % 5
+        service.update(name, [feature], offset % 2 == 0)
+        service.predict(name, [feature])
+
+
+class TestFullReshard:
+    def test_grow_preserves_state_and_routing(self):
+        service = PredictionService(num_shards=2)
+        populate(service)
+        before = snapshot_service(service)["domains"]
+        report = service.reshard(4)
+        assert service.num_shards == 4
+        assert report.new_shard_count == 4
+        assert report.moved_slots > 0
+        assert snapshot_service(service)["domains"] == before
+        for name in NAMES:
+            domain = service.domain(name)
+            assert domain.shard_id == service.shard_of(name)
+            assert domain.shard_label == str(domain.shard_id)
+
+    def test_shrink_truncates_doomed_shards(self):
+        service = PredictionService(num_shards=4)
+        populate(service)
+        before = snapshot_service(service)["domains"]
+        service.reshard(2)
+        assert service.num_shards == 2
+        assert len(service.shards) == 2
+        assert snapshot_service(service)["domains"] == before
+        for name in NAMES:
+            assert service.domain(name).shard_id == service.shard_of(name)
+
+    def test_slots_sum_to_ring_after_reshard(self):
+        service = PredictionService(num_shards=2)
+        populate(service)
+        service.reshard(3)
+        summaries = service.shard_summaries()
+        assert sum(s["slots"] for s in summaries) == service.ring.num_slots
+        assert all(s["slots"] > 0 for s in summaries)
+
+    def test_noop_reshard_moves_nothing(self):
+        service = PredictionService(num_shards=3)
+        populate(service)
+        report = service.reshard(3)
+        assert report.moved_slots == 0
+        assert report.moved_domains == 0
+
+
+class TestLiveMigration:
+    def test_interleaved_traffic_is_bit_identical(self):
+        baseline = PredictionService(num_shards=2)
+        live = PredictionService(num_shards=2)
+        populate(baseline)
+        populate(live)
+        migrator = live.begin_reshard(4)
+        round_index = 0
+        while not migrator.done:
+            # One slot handoff, then a full round of live traffic on
+            # both services - the migrating one must not diverge.
+            migrator.step()
+            traffic(baseline, round_index)
+            traffic(live, round_index)
+            round_index += 1
+        assert live.num_shards == 4
+        assert snapshot_service(live)["domains"] \
+            == snapshot_service(baseline)["domains"]
+        scores = [
+            (baseline.predict(name, [0]), live.predict(name, [0]))
+            for name in NAMES
+        ]
+        assert all(a == b for a, b in scores)
+
+    def test_handles_stay_valid_across_migration(self):
+        service = PredictionService(num_shards=2)
+        populate(service)
+        handle = service.handle(NAMES[0])
+        before = handle.predict([1])
+        service.reshard(4)
+        # The same domain object moved shards; the open handle still
+        # reaches it and sees identical state.
+        assert handle.predict([1]) == before
+        handle.update([1], True)
+        assert service.domain(NAMES[0]).stats.updates > 0
+
+    def test_concurrent_reshard_refused(self):
+        service = PredictionService(num_shards=2)
+        populate(service)
+        service.begin_reshard(4)
+        with pytest.raises(DomainError):
+            service.begin_reshard(3)
+
+    def test_next_reshard_allowed_once_done(self):
+        service = PredictionService(num_shards=2)
+        populate(service)
+        migrator = service.begin_reshard(4)
+        while not migrator.done:
+            migrator.step()
+        service.reshard(3)
+        assert service.num_shards == 3
+
+    def test_injected_stalls_retry_until_done(self):
+        service = PredictionService(num_shards=2)
+        populate(service)
+        injector = FaultInjector(
+            FaultPlan(seed=7, migration_stall_rate=0.5)
+        )
+        migrator = service.begin_reshard(4, injector=injector)
+        steps = 0
+        while not migrator.done:
+            migrator.step()
+            steps += 1
+            assert steps < 1000
+        assert migrator.stalls > 0
+        assert injector.stats.migration_stalls == migrator.stalls
+        report = migrator.report()
+        assert report.stalls == migrator.stalls
+        assert report.moved_slots == steps - migrator.stalls
+
+    def test_stall_on_down_shard_until_promotion(self):
+        service = PredictionService(num_shards=2, num_replicas=1)
+        populate(service)
+        service.sync_replicas()
+        service.crash_shard(0)
+        migrator = service.begin_reshard(4)
+        pending = migrator.pending_slots
+        for _ in range(3):
+            # Every step stalls while a migration endpoint is down.
+            assert not migrator.step()
+        assert migrator.stalls >= 1
+        assert migrator.pending_slots <= pending
+        ReplicaPromoter(service).promote(0)
+        while not migrator.step():
+            pass
+        assert service.num_shards == 4
+        for name in NAMES:
+            assert service.domain(name).shard_id == service.shard_of(name)
+
+    def test_reshard_refused_while_shard_down(self):
+        service = PredictionService(num_shards=2, num_replicas=1)
+        populate(service)
+        service.sync_replicas()
+        service.crash_shard(1)
+        with pytest.raises(DomainError):
+            service.reshard(4)
+
+
+class TestCheckpointAcrossReshard:
+    def test_manager_follows_live_topology(self, tmp_path):
+        service = PredictionService(num_shards=2)
+        populate(service)
+        manager = ShardedCheckpointManager(service, tmp_path)
+        manager.checkpoint()
+        service.reshard(4)
+        traffic(service, 0)
+        # Post-reshard checkpoint covers grown shards and the new
+        # manifest records the new topology.
+        manager.checkpoint()
+        manifest = manager.read_manifest()
+        assert manifest["num_shards"] == 4
+
+        restored = PredictionService(num_shards=4)
+        result = ShardedCheckpointManager(restored, tmp_path).recover()
+        assert result.skipped == ()
+        assert snapshot_service(restored)["domains"] \
+            == snapshot_service(service)["domains"]
+
+    def test_recovery_into_different_shard_count(self, tmp_path):
+        service = PredictionService(num_shards=2)
+        populate(service)
+        service.reshard(3)
+        ShardedCheckpointManager(service, tmp_path).checkpoint()
+
+        restored = PredictionService(num_shards=5)
+        ShardedCheckpointManager(restored, tmp_path).recover()
+        assert snapshot_service(restored)["domains"] \
+            == snapshot_service(service)["domains"]
+        for name in NAMES:
+            assert restored.domain(name).shard_id \
+                == restored.shard_of(name)

@@ -16,6 +16,7 @@ from repro.core.errors import DomainError
 from repro.core.kernel import ShardedCheckpointManager, ShardRouter
 from repro.core.kernel.checkpoint import shard_file_name
 from repro.core.persistence import snapshot_service
+from repro.obs import Tracer
 
 CONFIG = PSSConfig(num_features=1)
 
@@ -142,6 +143,54 @@ class TestShardedCheckpoints:
         assert manager.last_error
         lost = set(source.shard(victim).domain_names())
         assert set(restored.domain_names()) == set(NAMES) - lost
+
+    def test_recovery_result_names_skipped_shards(self, tmp_path):
+        source = self.trained_service()
+        ShardedCheckpointManager(source, tmp_path).checkpoint()
+        occupied = [s["shard"] for s in source.shard_summaries()
+                    if s["domains"]]
+        victim = occupied[0]
+        path = tmp_path / shard_file_name(victim)
+        path.write_text(path.read_text()[:-20] + "garbage")
+
+        restored = PredictionService(num_shards=4)
+        result = ShardedCheckpointManager(restored, tmp_path).recover()
+        # Still an int for existing callers...
+        assert result == len(occupied) - 1
+        assert result.restored == len(occupied) - 1
+        # ...but the lost shard is named, never silently dropped.
+        assert result.skipped == (shard_file_name(victim),)
+        assert len(result.errors) == 1
+        assert shard_file_name(victim) in result.errors[0] \
+            or "checksum" in result.errors[0]
+
+    def test_skipped_shard_emits_corrupt_trace(self, tmp_path):
+        source = self.trained_service()
+        ShardedCheckpointManager(source, tmp_path).checkpoint()
+        occupied = [s["shard"] for s in source.shard_summaries()
+                    if s["domains"]]
+        victim = occupied[0]
+        (tmp_path / shard_file_name(victim)).unlink()
+
+        tracer = Tracer()
+        restored = PredictionService(num_shards=4, tracer=tracer)
+        result = ShardedCheckpointManager(restored, tmp_path).recover()
+        assert result.skipped == (shard_file_name(victim),)
+        corrupt = [e for e in tracer.events()
+                   if e.kind == "checkpoint.corrupt"]
+        assert len(corrupt) == 1
+        (event,) = corrupt
+        assert event.shard == str(victim)
+        assert event.detail["file"] == shard_file_name(victim)
+        assert "missing" in event.detail["reason"]
+
+    def test_clean_recovery_skips_nothing(self, tmp_path):
+        source = self.trained_service()
+        ShardedCheckpointManager(source, tmp_path).checkpoint()
+        restored = PredictionService(num_shards=4)
+        result = ShardedCheckpointManager(restored, tmp_path).recover()
+        assert result.skipped == ()
+        assert result.errors == ()
 
     def test_dirty_signature_gates_rewrites(self, tmp_path):
         source = self.trained_service()
