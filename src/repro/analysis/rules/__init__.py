@@ -21,6 +21,7 @@ from repro.analysis.rules.determinism import (
     NoWallClockRule,
     SeededRngOnlyRule,
 )
+from repro.analysis.rules.plans import ImmutablePlanRule
 from repro.analysis.rules.tracing import (
     NoDeadTraceKindsRule,
     RegisteredTraceKindsRule,
@@ -33,6 +34,7 @@ RULE_CLASSES: tuple[Type[Rule], ...] = (
     NoWallClockRule,         # DET001
     SeededRngOnlyRule,       # DET002
     NoSwallowedExceptionsRule,  # EXC001
+    ImmutablePlanRule,          # PLN001
     ReplicaReadOnlyRule,        # REP001
     RegisteredTraceKindsRule,   # TRC001
     NoDeadTraceKindsRule,       # TRC002

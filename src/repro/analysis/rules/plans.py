@@ -1,0 +1,99 @@
+"""Plan-immutability rule: specialized plans are frozen after compile.
+
+The PRETZEL-style plan cache (:mod:`repro.core.plans`) shares one
+:class:`~repro.core.plans.SpecializedPlan` instance across every
+same-shape domain of every tenant.  That sharing is only sound because
+a plan is pure shape - salts and table geometry captured at compile
+time, never weights, never per-tenant state.  A method that assigns to
+``self`` after ``__init__`` would turn the shared read-only object into
+cross-tenant mutable state: one tenant's call could silently change how
+*another* tenant's rows hash.  PLN001 pins the contract statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+
+def _flatten_targets(target: ast.expr) -> Iterator[ast.expr]:
+    """Leaf assignment targets under tuple/list/starred unpacking."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _flatten_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _flatten_targets(target.value)
+    else:
+        yield target
+
+
+def _rooted_in_self(target: ast.expr) -> bool:
+    """Whether an assignment target writes through ``self`` - a direct
+    attribute (``self.x = ...``), a nested chain (``self.x.y = ...``),
+    or element mutation of owned state (``self.salts[i] = ...``)."""
+    node = target
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self" \
+        and node is not target  # a bare ``self = ...`` rebinds a local
+
+
+class ImmutablePlanRule(Rule):
+    """PLN001: no ``SpecializedPlan`` method assigns to ``self`` outside
+    ``__init__``.
+
+    Applies to any class whose name marks it as a specialized plan
+    (``SpecializedPlan`` in the name), including fixtures and future
+    plan variants.  ``__init__`` is the only construction window;
+    everything after it must treat the instance as frozen, so
+    ``Assign``/``AugAssign``/``AnnAssign`` statements whose target
+    writes through ``self`` - including nested attributes and element
+    assignment to owned containers - are flagged.  Local variables,
+    including ones unpacked from ``self`` attributes, are fine.
+    """
+
+    rule_id = "PLN001"
+    description = ("SpecializedPlan classes never assign to self "
+                   "outside __init__ (shared plans are read-only)")
+
+    #: class-name fragment that marks a specialized-plan type
+    CLASS_MARKERS = ("SpecializedPlan",)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(marker in node.name
+                       for marker in self.CLASS_MARKERS):
+                continue
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if method.name == "__init__":
+                    continue
+                yield from self._check_method(ctx, node, method)
+
+    def _check_method(self, ctx: FileContext, cls: ast.ClassDef,
+                      method: ast.FunctionDef) -> Iterator[Finding]:
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                for leaf in _flatten_targets(target):
+                    if _rooted_in_self(leaf):
+                        yield ctx.finding(
+                            self.rule_id, stmt.lineno,
+                            f"{cls.name}.{method.name} assigns to "
+                            f"{ast.unparse(leaf)}: specialized plans "
+                            f"are shared read-only across tenants and "
+                            f"must only be written in __init__",
+                        )

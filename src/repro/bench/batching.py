@@ -1,0 +1,93 @@
+"""Shared ``--batch N`` support for the experiment drivers.
+
+Every driver that accepts ``--batch N`` (``tenants``, ``fig2``,
+``fig6``) appends the same batched-prediction section to its report:
+a sweep that scores one stream of distinct feature rows through
+``predict_batch`` at batch size 1 (the scalar baseline) and at the
+requested size, on the syscall transport — the boundary whose crossing
+cost batching amortizes (one simulated syscall per *batch* instead of
+one per row).
+
+The measurement is pure simulated time read from the client's
+:class:`~repro.core.stats.LatencyAccount`: no wall clock is touched
+(DET001), so the section is byte-identical run to run, and ``--batch
+1`` (the default) adds nothing at all — the drivers' default output
+stays byte-for-byte what it was before the flag existed.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import batch_table
+from repro.core import PredictionService
+from repro.core.config import PSSConfig
+
+#: rows scored per measured batch size (divisible by every power of two
+#: up to 512, so common batch sizes tile it exactly)
+SWEEP_ROWS = 512
+
+
+def parse_batch_flag(args) -> int:
+    """Read ``--batch N`` from a raw argv list (fig2/fig6 style).
+
+    Returns 1 (scalar, no batch section) when the flag is absent;
+    raises :class:`SystemExit` on a malformed or missing value, like
+    argparse would.
+    """
+    if "--batch" not in args:
+        return 1
+    index = list(args).index("--batch")
+    try:
+        batch = int(args[index + 1])
+    except (IndexError, ValueError):
+        raise SystemExit(
+            "--batch expects an integer batch size, e.g. --batch 16"
+        ) from None
+    if batch < 1:
+        raise SystemExit(f"--batch must be >= 1, got {batch}")
+    return batch
+
+
+def measure_batch_sweep(batch: int, total_rows: int = SWEEP_ROWS,
+                        tracer=None) -> list[dict]:
+    """Score ``total_rows`` distinct rows at batch sizes 1 and ``batch``.
+
+    Each size gets a fresh domain on a fresh single-shard service and a
+    fresh syscall client, so the sizes cannot share a score cache and
+    the comparison is crossing cost alone.  Returns
+    :func:`~repro.bench.tables.batch_table` row dicts in sweep order.
+    """
+    sizes = [1] if batch <= 1 else [1, batch]
+    service = PredictionService(tracer=tracer)
+    config = PSSConfig()
+    rows = [
+        [row * config.num_features + feature
+         for feature in range(config.num_features)]
+        for row in range(total_rows)
+    ]
+    entries = []
+    for size in sizes:
+        client = service.connect(
+            f"batch-probe-{size}", config=config, transport="syscall",
+        )
+        for start in range(0, total_rows, size):
+            client.predict_batch(rows[start:start + size])
+        sim_ns = client.latency.vdso_ns + client.latency.syscall_ns
+        client.close()
+        entries.append({
+            "batch": size,
+            "rows": total_rows,
+            "rows_per_sec": total_rows / (sim_ns * 1e-9) if sim_ns
+            else 0.0,
+            "sim_ns_per_row": sim_ns / total_rows,
+        })
+    return entries
+
+
+def batch_section(batch: int, tracer=None) -> str:
+    """The rendered report section, or ``""`` when ``batch <= 1``."""
+    if batch <= 1:
+        return ""
+    return (
+        f"batched prediction (syscall transport, batch={batch}):\n"
+        + batch_table(measure_batch_sweep(batch, tracer=tracer))
+    )

@@ -190,6 +190,7 @@ def shard_table(summaries) -> str:
         return cells
 
     with_replicas = any("replica_lag" in s for s in summaries)
+    with_plans = any("plans" in s for s in summaries)
 
     rows = []
     for summary in summaries:
@@ -208,6 +209,8 @@ def shard_table(summaries) -> str:
         if with_replicas:
             row.append(summary.get("replica_lag", "-"))
             row.append(summary.get("failover_predictions", 0))
+        if with_plans:
+            row.append(summary.get("plans", "-"))
         if with_percentiles:
             row.extend(percentile_cells(summary))
         rows.append(row)
@@ -215,9 +218,52 @@ def shard_table(summaries) -> str:
                "total-us"]
     if with_replicas:
         headers.extend(["lag", "failovers"])
+    if with_plans:
+        headers.append("plans")
     if with_percentiles:
         headers.extend(["vdso-p50", "vdso-p99", "sys-p50", "sys-p99"])
-    return format_table(headers, rows)
+    table = format_table(headers, rows)
+    if with_plans:
+        # The plan cache is kernel-global; summarize sharing once below
+        # the per-shard rows instead of repeating it per row.
+        cache = next(
+            s["plan_cache"] for s in summaries if "plan_cache" in s
+        )
+        table += (
+            f"\nplan cache: {cache['plans']} compiled, "
+            f"{cache['hits']} shared bindings, {cache['misses']} compiles"
+        )
+    return table
+
+
+def batch_table(batch_rows) -> str:
+    """Batch-amortization table for the ``--batch N`` driver flag.
+
+    One row per measured batch size: rows scored, *simulated* rows/sec
+    (rows over simulated crossing time — deterministic, never wall
+    clock), simulated boundary cost per row, and the speedup over the
+    ``batch=1`` row (the scalar baseline).  ``batch_rows`` is an
+    iterable of dicts with keys ``batch``, ``rows``, ``rows_per_sec``,
+    and ``sim_ns_per_row``.
+    """
+    materialized = list(batch_rows)
+    if not materialized:
+        return "<no batch measurements>"
+    base = materialized[0]["rows_per_sec"]
+    rows = []
+    for entry in materialized:
+        speedup = (entry["rows_per_sec"] / base) if base else 0.0
+        rows.append([
+            entry["batch"],
+            entry["rows"],
+            f"{entry['rows_per_sec']:.0f}",
+            f"{entry['sim_ns_per_row']:.2f}",
+            f"{speedup:.2f}x",
+        ])
+    return format_table(
+        ["batch", "rows", "rows/s", "sim-ns/row", "speedup"],
+        rows,
+    )
 
 
 def chaos_table(rows) -> str:

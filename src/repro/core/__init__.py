@@ -69,6 +69,12 @@ from repro.core.models import (
 )
 from repro.core.multiclass import BinarySearchTuner, MultiChoiceClient
 from repro.core.perceptron import HashedPerceptron
+from repro.core.plans import (
+    PlanCompiler,
+    SpecializedPlan,
+    compile_plan,
+    plan_signature,
+)
 from repro.core.persistence import (
     CheckpointManager,
     load_service,
@@ -147,6 +153,10 @@ __all__ = [
     "BinarySearchTuner",
     "MultiChoiceClient",
     "HashedPerceptron",
+    "PlanCompiler",
+    "SpecializedPlan",
+    "compile_plan",
+    "plan_signature",
     "CheckpointManager",
     "load_service",
     "restore_service",

@@ -71,6 +71,21 @@ class PSSClient:
         # buffers below reuse this tuple instead of re-tupling.
         return self._transport.predict(canonical_features(features))
 
+    def predict_batch(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Signed scores for a whole batch of feature vectors.
+
+        Scores are bit-identical to ``[predict(r) for r in
+        feature_rows]``; what changes is the cost model - the transport
+        amortizes its crossing (one syscall round-trip, one batched
+        pass over the score cache and the domain's specialized plan).
+        See docs/PERFORMANCE.md, "Batched and specialized prediction".
+        """
+        return self._transport.predict_batch(
+            [canonical_features(features) for features in feature_rows]
+        )
+
     def update(self, features: Sequence[int], direction: bool) -> None:
         """Feedback: ``void update(int*, int, bool dir)``."""
         self._transport.update(canonical_features(features), direction)
@@ -312,6 +327,60 @@ class ResilientClient(PSSClient):
             return self.fallback_score(features)
         self._breaker.record_success()
         return score
+
+    def predict_batch(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Batch predict with whole-batch degraded semantics.
+
+        A batch is one guarded operation: the breaker is consulted once,
+        retries replay the *entire* batch (transports either return all
+        scores or raise before returning any, so a replay never
+        double-serves a row), and on degradation - breaker open,
+        quota exhausted, transport fault after retries - every row of
+        the batch is answered by the static fallback.  Quota rejections
+        are never retried and never trip the breaker, exactly like the
+        scalar call.
+        """
+        rows = [canonical_features(features) for features in feature_rows]
+        if not rows:
+            return []
+        self.stats.predictions += len(rows)
+        self._last_was_fallback = False
+        if not self._breaker.allow():
+            self._last_was_fallback = True
+            self.stats.fallback_predictions += len(rows)
+            if self._tracer.enabled:
+                self._trace_client("fallback",
+                                   detail={"reason": "breaker_open",
+                                           "rows": len(rows)})
+            return [self.fallback_score(key) for key in rows]
+        try:
+            scores = self._attempt(
+                lambda: self._transport.predict_batch(rows)
+            )
+        except QuotaExceededError:
+            # Not a transport failure: no retry, no breaker trip.
+            self.stats.quota_rejections += 1
+            self._last_was_fallback = True
+            self.stats.fallback_predictions += len(rows)
+            if self._tracer.enabled:
+                self._trace_client("fallback",
+                                   detail={"reason": "quota",
+                                           "rows": len(rows)})
+            return [self.fallback_score(key) for key in rows]
+        except TransportFault:
+            self.stats.transport_failures += 1
+            self._breaker.record_failure()
+            self._last_was_fallback = True
+            self.stats.fallback_predictions += len(rows)
+            if self._tracer.enabled:
+                self._trace_client("fallback",
+                                   detail={"reason": "transport_fault",
+                                           "rows": len(rows)})
+            return [self.fallback_score(key) for key in rows]
+        self._breaker.record_success()
+        return scores
 
     def update(self, features: Sequence[int], direction: bool) -> None:
         features = canonical_features(features)

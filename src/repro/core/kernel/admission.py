@@ -127,16 +127,28 @@ class AdmissionController:
         if usage.domains > 0:
             usage.domains -= 1
 
-    def charge_predict(self, identity: ClientIdentity) -> None:
+    def charge_predict(self, identity: ClientIdentity,
+                       count: int = 1) -> None:
+        """Charge ``count`` predictions against the tenant's budget.
+
+        A batch predict is admitted all-or-nothing: either the whole
+        batch fits the remaining budget and is charged as ``count``
+        scalar predicts, or nothing is charged and the batch is
+        rejected.  (A scalar replay would instead serve the prefix that
+        still fit - the all-or-nothing contract is the documented batch
+        semantics, mirroring the whole-batch fault behaviour of the
+        syscall transport.)  ``count=1`` is exactly the historical
+        single-predict charge.
+        """
         quota = self.quota_for(identity)
         usage = self.usage_for(identity)
         if quota.predict_budget is not None \
-                and usage.predictions >= quota.predict_budget:
+                and usage.predictions + count > quota.predict_budget:
             usage.rejections += 1
             raise QuotaExceededError(
                 identity, "predictions", quota.predict_budget
             )
-        usage.predictions += 1
+        usage.predictions += count
 
     def charge_update(self, identity: ClientIdentity) -> None:
         quota = self.quota_for(identity)

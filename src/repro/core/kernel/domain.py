@@ -73,6 +73,27 @@ class Domain:
         self.stats.record_prediction(score, self.config.threshold)
         return score
 
+    def predict_batch(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Scores for a whole batch, bit-identical to a scalar replay.
+
+        Batch-aware models (the hashed perceptron) score all rows in
+        one pass over their weights; others fall back to a scalar loop.
+        Stats are recorded per row either way.
+        """
+        batch = getattr(self.model, "predict_batch", None)
+        if batch is not None:
+            scores = batch(feature_rows)
+        else:
+            predict = self.model.predict
+            scores = [predict(features) for features in feature_rows]
+        record = self.stats.record_prediction
+        threshold = self.config.threshold
+        for score in scores:
+            record(score, threshold)
+        return scores
+
     def record_cached_prediction(self, score: int) -> None:
         """Account a prediction a client served from its score cache."""
         self.stats.record_cached_prediction(score, self.config.threshold)
@@ -158,6 +179,31 @@ class DomainHandle:
             # the domain) - reads survive the outage.
             return shard.failover_predict(self._domain, features)
         return self._domain.predict(features)
+
+    def predict_batch(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Policy- and admission-checked batch predict.
+
+        The policy decision is stateless per identity/domain, so one
+        check covers the batch; admission is charged as N predicts
+        against the tenant budget in one all-or-nothing step (see
+        :meth:`AdmissionController.charge_predict`).  On a crashed
+        primary every row takes the same follower-failover path a
+        scalar predict would.
+        """
+        if not feature_rows:
+            return []
+        self._domain.policy.check_predict(self._identity, self._domain.name)
+        if self._admission is not None:
+            self._admission.charge_predict(self._identity,
+                                           count=len(feature_rows))
+        shard = self._domain.shard
+        if shard is not None and shard.down:
+            domain = self._domain
+            return [shard.failover_predict(domain, features)
+                    for features in feature_rows]
+        return self._domain.predict_batch(feature_rows)
 
     def record_cached_prediction(self, score: int) -> None:
         """Account a cache-served prediction, with the same policy and

@@ -35,6 +35,7 @@ from repro.core.kernel.migrate import MigrationReport, SlotMigrator
 from repro.core.kernel.shard import Shard
 from repro.core.kernel.sharding import ShardRouter, SlotRing
 from repro.core.models import create_model, ensure_builtin_models
+from repro.core.plans import PlanCompiler, plan_signature
 from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
 from repro.core.stats import DomainReport, ResilienceStats
 from repro.obs.metrics import (
@@ -92,6 +93,13 @@ class ShardedService:
         #: per-domain aggregate resilient-client stats (shared by every
         #: resilient client connect() opens on that domain)
         self._resilience_stats: dict[str, ResilienceStats] = {}
+        #: PRETZEL-style plan cache: every domain this kernel creates
+        #: binds its weights through this compiler, so identical-shape
+        #: domains - across shards and tenants - share one read-only
+        #: :class:`~repro.core.plans.SpecializedPlan` (see
+        #: docs/PERFORMANCE.md); hit/miss stats surface in
+        #: :meth:`shard_summaries`
+        self.plans = PlanCompiler(self.tracer)
 
     # -- shard topology ----------------------------------------------------
 
@@ -221,6 +229,9 @@ class ShardedService:
             survivor_generation = domain.generation
             domain.model = create_model(domain.model_name, domain.config)
             domain.generation_offset = survivor_generation + 1
+            # The cold model re-binds the shared plan: shape survived
+            # the crash even though the learned state did not.
+            self._bind_plan(domain)
         shard.down = True
         if self.tracer.enabled:
             self.tracer.record(
@@ -295,7 +306,19 @@ class ShardedService:
         )
         shard.domains[name] = domain
         domain.shard = shard
+        self._bind_plan(domain)
         return domain
+
+    def _bind_plan(self, domain: Domain) -> None:
+        """Bind the model's weights to the kernel's shared plan cache.
+
+        Models without a plan-capable weight matrix (nothing to
+        specialize) are left alone; they score through their own
+        ``predict`` as before.
+        """
+        weights = getattr(domain.model, "weights", None)
+        if weights is not None and hasattr(weights, "attach_plan"):
+            weights.attach_plan(self.plans.plan_for(domain.config))
 
     def domain(self, name: str) -> Domain:
         try:
@@ -431,6 +454,51 @@ class ShardedService:
             return shard.failover_predict(domain, features)
         return domain.predict(features)
 
+    def predict_batch(
+        self, requests: Sequence[tuple[str, Sequence[int]]],
+        identity: ClientIdentity | None = None,
+    ) -> list[int]:
+        """Batch predict across domains, fanned out shard by shard.
+
+        ``requests`` are ``(domain_name, features)`` pairs; rows are
+        grouped by owning shard and visited in shard-id order, each
+        domain scoring its rows in one specialized pass
+        (:meth:`Domain.predict_batch`), and scores return in request
+        order.  Scores and per-domain stats are bit-identical to the
+        scalar loop ``[self.predict(name, f) for name, f in requests]``.
+
+        Like the scalar convenience this is a kernel-internal entry and
+        charges no transport latency; passing an ``identity`` opts the
+        whole batch into admission control as N predicts against that
+        tenant's budget, all-or-nothing (see
+        :meth:`AdmissionController.charge_predict`).
+        """
+        if not requests:
+            return []
+        resolved = [(self.domain(name), features)
+                    for name, features in requests]
+        if identity is not None and self.admission is not None:
+            self.admission.charge_predict(identity, count=len(resolved))
+        #: shard id -> domain name -> request positions, insertion-ordered
+        groups: dict[int, dict[str, list[int]]] = {}
+        for position, (domain, _features) in enumerate(resolved):
+            groups.setdefault(domain.shard_id, {}) \
+                  .setdefault(domain.name, []).append(position)
+        scores: list[int | None] = [None] * len(resolved)
+        for shard_id in sorted(groups):
+            for _name, positions in groups[shard_id].items():
+                domain = resolved[positions[0]][0]
+                rows = [resolved[position][1] for position in positions]
+                shard = domain.shard
+                if shard is not None and shard.down:
+                    row_scores = [shard.failover_predict(domain, row)
+                                  for row in rows]
+                else:
+                    row_scores = domain.predict_batch(rows)
+                for position, score in zip(positions, row_scores):
+                    scores[position] = score
+        return scores  # type: ignore[return-value]
+
     def update(self, name: str, features: Sequence[int],
                direction: bool) -> None:
         """Direct in-kernel update (refused while the shard is down)."""
@@ -509,6 +577,15 @@ class ShardedService:
             if shard.replicas:
                 summary["replicas"] = len(shard.replicas)
                 summary["replica_lag"] = shard.replica_lag()
+            if len(self.plans):
+                # Distinct model shapes hosted here; the service-wide
+                # compiler sharing stats ride along on every row (the
+                # cache itself is kernel-global, not per shard).
+                summary["plans"] = len({
+                    plan_signature(domain.config)
+                    for domain in shard.domains.values()
+                })
+                summary["plan_cache"] = self.plans.stats()
             if self.metrics is not None and shard.domains:
                 for path, metric in (("vdso_read_ns",
                                       "pss_vdso_read_ns"),

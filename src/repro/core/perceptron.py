@@ -64,6 +64,19 @@ class HashedPerceptron:
         """
         return self.score(features)
 
+    def predict_batch(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Scores for a whole batch, bit-identical to scalar predicts.
+
+        One pass over the weight array via
+        :meth:`WeightMatrix.dot_batch`: loop-invariant state is hoisted
+        and index-cache misses hash through the domain's compiled
+        :class:`~repro.core.plans.SpecializedPlan` instead of the
+        generic per-feature loop.
+        """
+        return self._weights.dot_batch(feature_rows)
+
     def decide(self, features: Sequence[int]) -> bool:
         """Boolean decision: score >= threshold."""
         return self.score(features) >= self.config.threshold

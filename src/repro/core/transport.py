@@ -20,6 +20,7 @@ charge time.  The wrapped target is any object with the service's
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Protocol, Sequence
 
 from repro.core.config import LatencyModel
@@ -34,6 +35,10 @@ from repro.core.faults import FaultInjector
 from repro.core.features import canonical_features
 from repro.core.stats import LatencyAccount
 from repro.obs.trace import NULL_TRACER
+
+#: score-cache probe sentinel distinct from the ``None`` placeholders
+#: that :meth:`VdsoTransport.predict_batch` parks for in-flight misses
+_ABSENT: object = object()
 
 
 class ServiceTarget(Protocol):
@@ -129,6 +134,36 @@ class Transport:
     def predict(self, features: Sequence[int]) -> int:
         raise NotImplementedError
 
+    def predict_batch(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Scores for a whole batch of feature vectors.
+
+        The base contract is a scalar loop - trivially bit-identical to
+        ``[predict(r) for r in feature_rows]`` in scores, stats, and
+        fault behaviour.  Concrete transports override this to amortize
+        what their cost model allows (one syscall crossing, one pass
+        over the score cache) while preserving that identity for scores
+        and model-side stats.
+        """
+        return [self.predict(features) for features in feature_rows]
+
+    def _target_predict_rows(
+        self, rows: Sequence[tuple[int, ...]]
+    ) -> list[int]:
+        """Service-side scores for ``rows``, batched when the target can.
+
+        A batch-aware target (:class:`repro.core.service.DomainHandle`)
+        charges admission once for N predicts and scores through the
+        domain's specialized plan; anything else is scored row by row.
+        Either way the per-row model stats are identical.
+        """
+        batch = getattr(self._target, "predict_batch", None)
+        if batch is not None:
+            return batch(rows)
+        predict = self._target.predict
+        return [predict(key) for key in rows]
+
     def update(self, features: Sequence[int], direction: bool) -> None:
         raise NotImplementedError
 
@@ -197,6 +232,43 @@ class SyscallTransport(Transport):
                                              "errno": fault.errno_name})
             raise fault  # the failed crossing still cost a syscall
         return self._target.predict(features)
+
+    def predict_batch(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """One syscall round-trip for the whole batch.
+
+        The crossing is priced like a batched update flush - one syscall
+        plus one record cost per row - which is the whole point: at
+        batch=N the per-prediction boundary cost drops from
+        ``syscall_ns`` to ``syscall_ns / N + batch_record_ns``.  Scores
+        and model-side stats are bit-identical to the scalar loop.
+
+        Fault semantics intentionally diverge from the scalar loop and
+        are the documented contract: the injector's syscall dice roll
+        *once per batch*, not once per row, because there is only one
+        crossing to fail - a fault loses the whole batch (no partial
+        scores), and a fault sequence observed under scalar predicts
+        will not line up with one observed under batching.
+        """
+        self._ensure_open()
+        rows = [canonical_features(features) for features in feature_rows]
+        if not rows:
+            return []
+        cost = (self._latency.syscall_ns
+                + self._latency.batch_record_ns * len(rows))
+        self.account.charge_syscall(cost)
+        self.account.charge_op("predict", cost)
+        if self._tracer.enabled:
+            self._trace("predict_batch", dur_ns=cost,
+                        detail={"rows": len(rows)})
+        fault = self._syscall_fault()
+        if fault is not None:
+            if self._tracer.enabled:
+                self._trace("fault", detail={"op": "predict_batch",
+                                             "errno": fault.errno_name})
+            raise fault  # the failed crossing still cost a syscall
+        return self._target_predict_rows(rows)
 
     def update(self, features: Sequence[int], direction: bool) -> None:
         self._ensure_open()
@@ -298,10 +370,20 @@ class VdsoTransport(Transport):
                  batch_size: int = 32) -> None:
         super().__init__(target, latency, account)
         self._buffer = BatchUpdateBuffer(batch_size)
+        # Both caches are FIFO-bounded OrderedDicts: ``popitem(last=False)``
+        # evicts the same victim as ``pop(next(iter(cache)))`` on a plain
+        # dict but in O(1), where the plain-dict spelling rescans an
+        # ever-growing tombstone prefix under churn (hits never reorder -
+        # these are insertion-order caches, not LRU).
         #: last fresh score per feature vector, kept only under injection
-        self._stale_cache: dict[tuple[int, ...], int] = {}
-        #: fresh score per feature vector, valid for one weight generation
-        self._score_cache: dict[tuple[int, ...], int] = {}
+        self._stale_cache: OrderedDict[tuple[int, ...], int] = OrderedDict()
+        #: fresh score per feature vector, valid for one weight
+        #: generation.  Values are scores, except transiently inside
+        #: :meth:`predict_batch`, where a miss parks a ``None``
+        #: placeholder until the batched service call fills it.
+        self._score_cache: OrderedDict[
+            tuple[int, ...], int | None
+        ] = OrderedDict()
         self._score_cache_generation = -1
         # Capability probe, once: caching needs a generation counter to
         # key validity on; stats parity additionally needs the recorder.
@@ -356,9 +438,118 @@ class VdsoTransport(Transport):
             self._trace("cache_miss")
         score = self._target.predict(key)
         if len(cache) >= self.SCORE_CACHE_ENTRIES:
-            cache.pop(next(iter(cache)))
+            cache.popitem(last=False)
         cache[key] = score
         return score
+
+    def predict_batch(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
+        """Batch of vDSO reads with one service call for the misses.
+
+        Every row keeps the scalar path's exact per-read semantics -
+        one vDSO charge, one ``predict`` trace event, one score-cache
+        probe with the same hit/miss counters and FIFO eviction
+        sequence, one stale-read die while staleness injection is armed
+        - so scores, stats, and the injector's randomness stream are
+        bit-identical to ``[predict(r) for r in feature_rows]``.  What
+        batching amortizes is the service side: cache misses are
+        collected and resolved through one
+        :meth:`Transport._target_predict_rows` call, which a
+        batch-aware target scores in a single pass over its weights.
+
+        A miss eagerly reserves its cache slot with a ``None``
+        placeholder so eviction decisions match a scalar replay even
+        when the batch itself overflows the cache; a second occurrence
+        of a pending row counts as the cache hit it would have been
+        (its score is filled in once the batched call returns).
+        """
+        self._ensure_open()
+        rows = [canonical_features(features) for features in feature_rows]
+        account = self.account
+        vdso_ns = self._latency.vdso_predict_ns
+        traced = self._tracer.enabled
+        injector = self._injector
+        if injector is not None and injector.plan.stale_read_rate > 0.0:
+            # Staleness injection bypasses the score cache and must
+            # roll its dice once per read, in row order: no batching.
+            out = []
+            for key in rows:
+                account.charge_vdso(vdso_ns)
+                account.charge_op("predict", vdso_ns)
+                if traced:
+                    self._trace("predict", dur_ns=vdso_ns)
+                out.append(self._predict_injected(key))
+            return out
+        source = self._generation_source
+        if source is None:
+            for key in rows:
+                account.charge_vdso(vdso_ns)
+                account.charge_op("predict", vdso_ns)
+                if traced:
+                    self._trace("predict", dur_ns=vdso_ns)
+            return self._target_predict_rows(rows)
+        cache = self._score_cache
+        # Predictions never move weights, so one generation check covers
+        # the whole batch (the scalar path re-checks an unchanged value).
+        generation = source.generation
+        if generation != self._score_cache_generation:
+            if cache:
+                cache.clear()
+            self._score_cache_generation = generation
+        recorder = self._cached_recorder
+        limit = self.SCORE_CACHE_ENTRIES
+        scores: list[int | None] = []
+        #: (key, output position) per cache miss, in probe order
+        pending: list[tuple[tuple[int, ...], int]] = []
+        #: hits on a ``None`` placeholder parked by this very batch:
+        #: score and cached-prediction stat are filled at resolve time
+        aliases: list[tuple[tuple[int, ...], int]] = []
+        for key in rows:
+            account.charge_vdso(vdso_ns)
+            account.charge_op("predict", vdso_ns)
+            if traced:
+                self._trace("predict", dur_ns=vdso_ns)
+            cached = cache.get(key, _ABSENT)
+            if cached is _ABSENT:
+                account.record_cache_miss()
+                if traced:
+                    self._trace("cache_miss")
+                if len(cache) >= limit:
+                    cache.popitem(last=False)
+                cache[key] = None
+                pending.append((key, len(scores)))
+                scores.append(None)
+                continue
+            account.record_cache_hit()
+            if traced:
+                self._trace("cache_hit")
+            if cached is None:
+                aliases.append((key, len(scores)))
+                scores.append(None)
+                continue
+            if recorder is not None:
+                recorder(cached)
+            scores.append(cached)
+        if pending:
+            resolved = self._target_predict_rows(
+                [key for key, _position in pending]
+            )
+            fresh: dict[tuple[int, ...], int] = {}
+            for (key, position), score in zip(pending, resolved):
+                # Fill the reserved slot in place; a placeholder the
+                # batch itself evicted stays evicted, exactly as in a
+                # scalar replay.
+                if cache.get(key, _ABSENT) is None:
+                    cache[key] = score
+                scores[position] = score
+                fresh[key] = score
+            for key, position in aliases:
+                score = fresh[key]
+                if recorder is not None:
+                    recorder(score)
+                scores[position] = score
+        return scores  # type: ignore[return-value]
 
     def _predict_injected(self, key: tuple[int, ...]) -> int:
         # A read-only mapping can lag the kernel's weight writes: a
@@ -374,7 +565,7 @@ class VdsoTransport(Transport):
         score = self._target.predict(key)
         if key not in self._stale_cache \
                 and len(self._stale_cache) >= self.STALE_CACHE_ENTRIES:
-            self._stale_cache.pop(next(iter(self._stale_cache)))
+            self._stale_cache.popitem(last=False)
         self._stale_cache[key] = score
         return score
 

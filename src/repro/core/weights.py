@@ -17,11 +17,19 @@ implementation (kept as the reference model in
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Iterator, Sequence
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.core.config import PSSConfig
 from repro.core.errors import FeatureError
-from repro.core.hashing import salt_table, salted_hash
+from repro.core.hashing import salt_table
+
+if TYPE_CHECKING:
+    from repro.core.plans import SpecializedPlan
+
+#: cache-probe sentinel distinct from the ``None`` placeholders that
+#: :meth:`WeightMatrix.dot_batch` parks for in-flight misses
+_ABSENT: object = object()
 
 
 def saturate(value: int, lo: int, hi: int) -> int:
@@ -63,11 +71,23 @@ class WeightMatrix:
         )
         self._bias = 0
         self._salts = salt_table(config.num_features, config.seed)
-        #: feature tuple -> tuple of selected flat indices (LRU-bounded)
-        self._index_cache: dict[tuple[int, ...], tuple[int, ...]] = {}
+        #: feature tuple -> tuple of selected flat indices (LRU-bounded).
+        #: An OrderedDict, not a plain dict: evicting the oldest entry of
+        #: a churning plain dict (``pop(next(iter(cache)))``) rescans an
+        #: ever-growing prefix of tombstones, which dominated the
+        #: uncached hot path; ``popitem(last=False)`` is O(1) with the
+        #: exact same eviction order.  Values are index tuples, except
+        #: transiently inside :meth:`dot_batch`, where a miss parks a
+        #: ``None`` placeholder until the batch's block hash fills it.
+        self._index_cache: OrderedDict[
+            tuple[int, ...], tuple[int, ...] | None
+        ] = OrderedDict()
         self.index_cache_hits = 0
         self.index_cache_misses = 0
         self._generation = 0
+        #: bound SpecializedPlan (lazily compiled/shared; dropped on
+        #: wholesale state swaps, like the generation-keyed score cache)
+        self._plan: "SpecializedPlan | None" = None
 
     @property
     def config(self) -> PSSConfig:
@@ -110,22 +130,16 @@ class WeightMatrix:
         """
         key = features if type(features) is tuple else tuple(features)
         cache = self._index_cache
-        cached = cache.pop(key, None)
+        cached = cache.get(key)
         if cached is not None:
-            cache[key] = cached  # re-insert: most recently used
+            cache.move_to_end(key)  # most recently used
             self.index_cache_hits += 1
             return cached
         self.index_cache_misses += 1
         self._check_features(key)
-        entries = self._entries
-        selected = []
-        base = 0
-        for salt, value in zip(self._salts, key):
-            selected.append(base + salted_hash(salt, value) % entries)
-            base += entries
-        result = tuple(selected)
+        result = self.plan.select(key)
         if len(cache) >= self.INDEX_CACHE_ENTRIES:
-            cache.pop(next(iter(cache)))
+            cache.popitem(last=False)
         cache[key] = result
         return result
 
@@ -165,6 +179,131 @@ class WeightMatrix:
         selected = self._flat_indices(features)
         flat = self._flat
         return self._bias + sum(map(flat.__getitem__, selected)), selected
+
+    # -- specialized batch path (see repro.core.plans) -----------------------
+
+    @property
+    def plan(self) -> "SpecializedPlan":
+        """The bound :class:`~repro.core.plans.SpecializedPlan`.
+
+        Binds lazily through the process-wide compiler when no service
+        kernel attached one; either way the plan is shared read-only by
+        every matrix with the same shape.
+        """
+        plan = self._plan
+        if plan is None:
+            from repro.core.plans import DEFAULT_COMPILER
+            plan = self._plan = DEFAULT_COMPILER.plan_for(self._config)
+        return plan
+
+    def attach_plan(self, plan: "SpecializedPlan") -> None:
+        """Bind a compiler-owned plan (kernel wiring).
+
+        The plan must describe this matrix's exact shape: a mismatched
+        plan would silently select wrong table cells.
+        """
+        from repro.core.plans import plan_signature
+        if plan.signature != plan_signature(self._config):
+            raise FeatureError(
+                f"plan signature {plan.signature} does not match "
+                f"matrix shape {plan_signature(self._config)}"
+            )
+        self._plan = plan
+
+    #: miss blocks at least this large go through the plan's vectorized
+    #: block hasher; smaller blocks stay on the compiled per-row path
+    #: (same results either way - this is purely a crossover point)
+    VECTOR_MIN_ROWS = 8
+
+    def dot_batch(self, rows: Sequence[Sequence[int]]) -> list[int]:
+        """Batch of :meth:`dot` scores in one pass, bit-identical.
+
+        The probe loop applies *exactly* the scalar path's index-cache
+        semantics - same hit/miss counters, same LRU reorder on hit,
+        same eviction sequence - so interleaving ``dot_batch`` with
+        scalar calls cannot perturb any downstream bit-identity claim.
+        Each miss eagerly reserves its cache slot with a ``None``
+        placeholder (keeping eviction decisions identical to a scalar
+        replay, including batches that repeat a row), and the deferred
+        misses are then hashed as one block through the bound
+        :class:`~repro.core.plans.SpecializedPlan` - vectorized when
+        the block is large enough, the compiled per-row selector
+        otherwise.
+
+        A row that fails validation aborts the whole batch with
+        :class:`~repro.core.errors.FeatureError` before any score is
+        returned; earlier misses of the aborted batch may then be
+        re-hashed by later calls (scores are never affected - the cache
+        only memoizes index selection).
+        """
+        cache = self._index_cache
+        cache_get = cache.get
+        move_to_end = cache.move_to_end
+        popitem = cache.popitem
+        limit = self.INDEX_CACHE_ENTRIES
+        flat = self._flat
+        getitem = flat.__getitem__
+        bias = self._bias
+        plan = self.plan
+        scores: list[int | None] = []
+        append = scores.append
+        hits = 0
+        misses = 0
+        #: (key, output position) per miss, in probe order
+        pending: list[tuple[tuple[int, ...], int]] = []
+        #: output positions whose key was a placeholder when probed (its
+        #: score is being computed by this very batch)
+        aliases: list[tuple[tuple[int, ...], int]] = []
+        absent = _ABSENT
+        for row in rows:
+            key = row if type(row) is tuple else tuple(row)
+            cached = cache_get(key, absent)
+            if cached is absent:
+                misses += 1
+                self._check_features(key)
+                if len(cache) >= limit:
+                    popitem(last=False)
+                cache[key] = None
+                pending.append((key, len(scores)))
+                append(None)
+                continue
+            hits += 1
+            move_to_end(key)
+            if cached is None:
+                aliases.append((key, len(scores)))
+                append(None)
+                continue
+            append(bias + sum(map(getitem, cached)))
+        if pending:
+            keys = [key for key, _position in pending]
+            block = (plan.score_select_rows(flat, bias, keys)
+                     if len(keys) >= self.VECTOR_MIN_ROWS else None)
+            if block is None:
+                select = plan.select
+                block_selected = [select(key) for key in keys]
+                block_scores = [
+                    bias + sum(map(getitem, selected))
+                    for selected in block_selected
+                ]
+            else:
+                block_scores, block_selected = block
+            resolved: dict[tuple[int, ...], int] = {}
+            for (key, position), score, selected in zip(
+                pending, block_scores, block_selected
+            ):
+                # Fill the reserved slot in place (assignment to a live
+                # key keeps its LRU position); a placeholder that was
+                # evicted mid-batch stays evicted, as it would have
+                # been in a scalar replay.
+                if cache_get(key, absent) is None:
+                    cache[key] = selected
+                scores[position] = score
+                resolved[key] = score
+            for key, position in aliases:
+                scores[position] = resolved[key]
+        self.index_cache_hits += hits
+        self.index_cache_misses += misses
+        return scores  # type: ignore[return-value]
 
     def adjust(self, features: Iterable[int], delta: int) -> None:
         """Add ``delta`` to every selected weight and the bias, saturating."""
@@ -244,3 +383,8 @@ class WeightMatrix:
         self._flat = restored
         self._bias = saturate(int(state["bias"]), lo, hi)
         self._generation += 1
+        # A wholesale state swap invalidates the plan binding exactly as
+        # the generation bump clears transport score caches; re-binding
+        # is a compiler cache hit (the shape did not change), never a
+        # recompile.
+        self._plan = None

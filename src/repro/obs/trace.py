@@ -47,6 +47,9 @@ EVENT_KINDS = frozenset({
     "replica_sync",       # follower replicas refreshed from a primary
     "replica_promote",    # follower state promoted into a downed shard
     "failover",           # a predict was served by a follower replica
+    "predict_batch",      # a batch of predictions crossed in one syscall
+    "plan.compile",       # the plan compiler specialized a new shape
+    "plan.hit",           # an existing specialized plan was shared
 })
 
 

@@ -1,0 +1,32 @@
+"""Fixture: specialized plans that mutate after compile (PLN001 hits)."""
+
+
+class CountingSpecializedPlan:
+    """Caches per-call state on self: two findings."""
+
+    def __init__(self, signature, salts):
+        self.signature = signature
+        self.salts = salts
+        self.calls = 0
+
+    def select(self, row):
+        self.calls += 1  # PLN001: shared plans must not count per tenant
+        return tuple(row)
+
+    def rebind(self, salts):
+        self.salts = salts  # PLN001: re-salting forks other tenants
+
+
+class LazySpecializedPlanV2:
+    """Memoizes through nested/element writes: two findings."""
+
+    def __init__(self):
+        self.tables = {}
+        self.stats = type("S", (), {"hits": 0})()
+
+    def score_rows(self, flat, bias, rows):
+        self.tables["last"] = rows  # PLN001: element write to owned state
+        return [bias for _row in rows]
+
+    def touch(self):
+        self.stats.hits = 1  # PLN001: nested attribute write

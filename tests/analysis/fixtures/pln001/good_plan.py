@@ -1,0 +1,36 @@
+"""Fixture: frozen specialized plans and unrelated classes (no PLN001)."""
+
+
+class CleanSpecializedPlan:
+    """All writes in __init__; methods only read self."""
+
+    def __init__(self, signature, salts):
+        self.signature = signature
+        self.salts = salts
+
+    def select(self, row):
+        # Locals (even unpacked from self) are not instance mutation.
+        salts = self.salts
+        selected = [value ^ salt for value, salt in zip(row, salts)]
+        return tuple(selected)
+
+    def score_rows(self, flat, bias, rows):
+        scores = []
+        for row in rows:
+            total = bias
+            for index in self.select(row):
+                total += flat[index % len(flat)]
+            scores.append(total)
+        return scores
+
+
+class PlanCompilerLike:
+    """Not a SpecializedPlan: mutable caches are its whole job."""
+
+    def __init__(self):
+        self.plans = {}
+        self.hits = 0
+
+    def plan_for(self, signature):
+        self.hits += 1
+        return self.plans.get(signature)

@@ -30,7 +30,7 @@ class TestRegistry:
     def test_expected_rules_present(self):
         assert set(rules_by_id()) == {
             "API001", "CTR001", "DET001", "DET002",
-            "EXC001", "REP001", "TRC001", "TRC002",
+            "EXC001", "PLN001", "REP001", "TRC001", "TRC002",
         }
 
     def test_all_rules_returns_fresh_instances(self):
@@ -138,6 +138,39 @@ class TestExc001:
         # good_except.py (named / recorded-and-reraised) and the
         # allowlisted core/persistence.py produce nothing.
         assert grouped == {}
+
+
+class TestPln001:
+    def test_plan_mutations_flagged(self, check_fixture):
+        findings, _ = check_fixture("pln001", ["PLN001"])
+        grouped = by_file(findings)
+        bad = grouped.pop("bad_plan.py")
+        messages = sorted(f.message for f in bad)
+        # CountingSpecializedPlan: per-call counter + re-salting;
+        # LazySpecializedPlanV2: element write + nested attribute write.
+        assert len(bad) == 4
+        assert any("CountingSpecializedPlan.select" in m
+                   for m in messages)
+        assert any("CountingSpecializedPlan.rebind" in m
+                   for m in messages)
+        assert sum("LazySpecializedPlanV2" in m for m in messages) == 2
+        assert all(f.rule_id == "PLN001" and f.severity == "error"
+                   for f in bad)
+        # good_plan.py: __init__ writes, locals unpacked from self, and
+        # a non-plan compiler class mutating its cache - none flagged.
+        assert grouped == {}
+
+    def test_real_specialized_plan_is_frozen(self):
+        from repro.analysis.engine import Project, run_rules
+        from repro.analysis.rules import select_rules
+
+        from .conftest import REPO_ROOT
+
+        findings, _ = run_rules(
+            Project(REPO_ROOT / "src" / "repro" / "core"),
+            select_rules(["PLN001"]),
+        )
+        assert findings == []
 
 
 class TestRep001:

@@ -1,0 +1,368 @@
+"""Property tests: ``predict_batch`` is bit-identical to scalar predicts.
+
+The PRETZEL-style batched/specialized fast path (``WeightMatrix
+.dot_batch`` + :mod:`repro.core.plans`) claims *bit identity*: for any
+workload, ``predict_batch(rows) == [predict(r) for r in rows]`` - not
+just for scores but for every observable the stack exposes (prediction
+stats, index- and score-cache counters, cache contents and eviction
+order, weight generations).  These properties pin that claim across:
+
+* the raw :class:`~repro.core.weights.WeightMatrix` (vectorized and
+  compiled-fallback block paths, interleaved with training);
+* vDSO and syscall clients against 1/2/4-shard services, with tracing
+  enabled;
+* fault injection (stale vDSO reads consume one die per read either
+  way);
+* shard crash failover and live resharding;
+* checkpoint save/restore (plan bindings drop and re-bind);
+* plan sharing: same-shape tenants reuse one compiled plan instance and
+  diverge after a shape change.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PredictionService, PSSConfig
+from repro.core.kernel import ShardedCheckpointManager
+from repro.core.plans import plan_signature
+from repro.core.weights import WeightMatrix
+
+from tests.core.reference_impl import ReferenceWeightMatrix
+
+
+def configs():
+    return st.builds(
+        PSSConfig,
+        num_features=st.integers(1, 3),
+        entries_per_feature=st.sampled_from([2, 16, 24]),
+        weight_bits=st.integers(2, 8),
+        threshold=st.integers(-2, 2),
+        seed=st.integers(0, 3),
+    )
+
+
+def matrix_workloads():
+    """A config, a vector pool, and a batched/scalar op stream."""
+    return configs().flatmap(
+        lambda config: st.tuples(
+            st.just(config),
+            st.lists(
+                st.lists(
+                    st.integers(-(2 ** 80), 2 ** 80),
+                    min_size=config.num_features,
+                    max_size=config.num_features,
+                ).map(tuple),
+                min_size=1, max_size=8, unique=True,
+            ),
+            st.lists(
+                st.tuples(
+                    st.sampled_from(
+                        ["dot", "batch", "adjust", "reset"]
+                    ),
+                    st.lists(st.integers(0, 7), max_size=12),
+                ),
+                max_size=30,
+            ),
+        )
+    )
+
+
+def drive_matrix(matrix, pool, stream, scores, scalar_only):
+    for op, picks in stream:
+        rows = [pool[i % len(pool)] for i in picks] or [pool[0]]
+        if op == "dot":
+            scores.extend(matrix.dot(row) for row in rows)
+        elif op == "batch":
+            if scalar_only:
+                scores.extend(matrix.dot(row) for row in rows)
+            else:
+                scores.extend(matrix.dot_batch(rows))
+        elif op == "adjust":
+            matrix.adjust(rows[0], 1)
+        else:
+            matrix.reset_entry(rows[0])
+
+
+def matrix_state(matrix):
+    return {
+        "hits": matrix.index_cache_hits,
+        "misses": matrix.index_cache_misses,
+        "cache": list(matrix._index_cache.items()),
+        "generation": matrix.generation,
+        "weights": list(matrix.iter_weights()),
+    }
+
+
+class TestWeightMatrixBatchIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_batch_equals_scalar_and_reference(self, data):
+        config, pool, stream = data.draw(matrix_workloads())
+        batched, scalar = WeightMatrix(config), WeightMatrix(config)
+        reference = ReferenceWeightMatrix(config)
+        b_scores, s_scores, r_scores = [], [], []
+        drive_matrix(batched, pool, stream, b_scores, scalar_only=False)
+        drive_matrix(scalar, pool, stream, s_scores, scalar_only=True)
+        drive_matrix(reference, pool, stream, r_scores, scalar_only=True)
+        assert b_scores == s_scores == r_scores
+        assert matrix_state(batched) == matrix_state(scalar)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_compiled_fallback_path_identical(self, data):
+        """Force the pure-Python block path (what CI without numpy runs)."""
+        config, pool, stream = data.draw(matrix_workloads())
+
+        class Fallback(WeightMatrix):
+            VECTOR_MIN_ROWS = 10 ** 9  # never vectorize
+
+        batched, scalar = Fallback(config), WeightMatrix(config)
+        b_scores, s_scores = [], []
+        drive_matrix(batched, pool, stream, b_scores, scalar_only=False)
+        drive_matrix(scalar, pool, stream, s_scores, scalar_only=True)
+        assert b_scores == s_scores
+        assert matrix_state(batched) == matrix_state(scalar)
+
+    def test_eviction_sequence_identical_under_thrash(self):
+        class Tiny(WeightMatrix):
+            INDEX_CACHE_ENTRIES = 3
+
+        config = PSSConfig(num_features=2)
+        batched, scalar = Tiny(config), Tiny(config)
+        pool = [(i, i + 1) for i in range(6)]
+        batch = [pool[i % 6] for i in (0, 1, 2, 3, 0, 4, 1, 1, 5, 0)]
+        assert batched.dot_batch(batch) == [scalar.dot(r) for r in batch]
+        assert matrix_state(batched) == matrix_state(scalar)
+
+
+def service_workloads():
+    """Config, pool, and a client op stream for one domain."""
+    return configs().flatmap(
+        lambda config: st.tuples(
+            st.just(config),
+            st.lists(
+                st.lists(
+                    st.integers(-1_000_000, 1_000_000),
+                    min_size=config.num_features,
+                    max_size=config.num_features,
+                ).map(tuple),
+                min_size=1, max_size=6, unique=True,
+            ),
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["predict", "batch", "update"]),
+                    st.lists(st.integers(0, 5), max_size=10),
+                    st.booleans(),
+                ),
+                max_size=40,
+            ),
+        )
+    )
+
+
+def build_service(config, num_shards, tracer=None):
+    from repro.obs import Tracer
+
+    service = PredictionService(
+        tracer=tracer or Tracer(), num_shards=num_shards
+    )
+    service.create_domain("dom", config=config)
+    return service
+
+
+def drive_client(client, pool, stream, scores, scalar_only):
+    for op, picks, flag in stream:
+        rows = [pool[i % len(pool)] for i in picks] or [pool[0]]
+        if op == "predict":
+            scores.extend(client.predict(row) for row in rows)
+        elif op == "batch":
+            if scalar_only:
+                scores.extend(client.predict(row) for row in rows)
+            else:
+                scores.extend(client.predict_batch(rows))
+        else:
+            client.update(rows[0], flag)
+    client.flush()
+
+
+def service_state(service, client):
+    domain = service.domain("dom")
+    return {
+        "stats": domain.stats,
+        "generation": domain.generation,
+        "account": (client.latency.cache_hits,
+                    client.latency.cache_misses,
+                    client.latency.vdso_calls),
+    }
+
+
+class TestClientBatchIdentity:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data(),
+           num_shards=st.sampled_from([1, 2, 4]),
+           transport=st.sampled_from(["vdso", "syscall"]))
+    def test_scores_stats_generations_identical(self, data, num_shards,
+                                                transport):
+        config, pool, stream = data.draw(service_workloads())
+        svc_b = build_service(config, num_shards)
+        svc_s = build_service(config, num_shards)
+        client_b = svc_b.connect("dom", transport=transport)
+        client_s = svc_s.connect("dom", transport=transport)
+        b_scores, s_scores = [], []
+        drive_client(client_b, pool, stream, b_scores, scalar_only=False)
+        drive_client(client_s, pool, stream, s_scores, scalar_only=True)
+        assert b_scores == s_scores
+        state_b = service_state(svc_b, client_b)
+        state_s = service_state(svc_s, client_s)
+        assert state_b["stats"] == state_s["stats"]
+        assert state_b["generation"] == state_s["generation"]
+        if transport == "vdso":
+            # Score-cache accounting is part of the identity too.
+            assert state_b["account"] == state_s["account"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data(), seed=st.integers(0, 5))
+    def test_identity_under_stale_read_injection(self, data, seed):
+        """Stale-vDSO dice roll once per read on both paths."""
+        config, pool, stream = data.draw(service_workloads())
+        plan = {"seed": seed, "stale_read_rate": 0.4}
+        svc_b = build_service(config, 2)
+        svc_s = build_service(config, 2)
+        client_b = svc_b.connect("dom", fault_plan=dict(plan))
+        client_s = svc_s.connect("dom", fault_plan=dict(plan))
+        b_scores, s_scores = [], []
+        drive_client(client_b, pool, stream, b_scores, scalar_only=False)
+        drive_client(client_s, pool, stream, s_scores, scalar_only=True)
+        assert b_scores == s_scores
+        assert service_state(svc_b, client_b)["stats"] == \
+            service_state(svc_s, client_s)["stats"]
+
+    def test_identity_across_crash_failover(self):
+        config = PSSConfig(num_features=2)
+        services = []
+        for _ in range(2):
+            service = PredictionService(num_shards=2, num_replicas=1)
+            service.create_domain("dom", config=config)
+            pool = [(i, -i) for i in range(5)]
+            for row in pool:
+                service.update("dom", row, True)
+            service.sync_replicas()
+            service.crash_shard(service.shard_of("dom"))
+            services.append((service, pool))
+        (svc_b, pool), (svc_s, _) = services
+        rows = [pool[i % 5] for i in range(12)]
+        batch = svc_b.handle("dom").predict_batch(rows)
+        scalar = [svc_s.handle("dom").predict(row) for row in rows]
+        assert batch == scalar
+        assert svc_b.domain("dom").stats == svc_s.domain("dom").stats
+
+    def test_identity_across_reshard(self):
+        config = PSSConfig(num_features=2)
+        pool = [(i, i * 3) for i in range(6)]
+
+        def run(batched):
+            service = PredictionService(num_shards=2)
+            service.create_domain("dom", config=config)
+            for row in pool[:4]:
+                service.update("dom", row, True)
+            service.reshard(4)
+            rows = [pool[i % 6] for i in range(10)]
+            if batched:
+                scores = service.predict_batch(
+                    [("dom", row) for row in rows]
+                )
+            else:
+                scores = [service.predict("dom", row) for row in rows]
+            return scores, service.domain("dom").stats, \
+                service.domain("dom").generation
+
+        assert run(batched=True) == run(batched=False)
+
+    def test_identity_across_checkpoint_save_restore(self, tmp_path):
+        config = PSSConfig(num_features=2)
+
+        def run(batched):
+            service = PredictionService(num_shards=2)
+            service.create_domain("dom", config=config)
+            pool = [(i, 7 - i) for i in range(5)]
+            for row in pool:
+                service.update("dom", row, True)
+            manager = ShardedCheckpointManager(
+                service, tmp_path / ("b" if batched else "s")
+            )
+            manager.checkpoint()
+            restored = PredictionService(num_shards=2)
+            manager_r = ShardedCheckpointManager(
+                restored, tmp_path / ("b" if batched else "s")
+            )
+            manager_r.recover()
+            rows = [pool[i % 5] for i in range(12)]
+            if batched:
+                scores = restored.predict_batch(
+                    [("dom", row) for row in rows]
+                )
+            else:
+                scores = [restored.predict("dom", row) for row in rows]
+            return scores, restored.domain("dom").generation
+
+        assert run(batched=True) == run(batched=False)
+
+
+class TestPlanSharing:
+    def test_same_shape_tenants_share_one_plan(self):
+        config = PSSConfig(num_features=2, entries_per_feature=16)
+        service = PredictionService(num_shards=2)
+        service.create_domain("tenant-a", config=config)
+        service.create_domain("tenant-b", config=config)
+        plan_a = service.domain("tenant-a").model.weights.plan
+        plan_b = service.domain("tenant-b").model.weights.plan
+        assert plan_a is plan_b
+        stats = service.plans.stats()
+        assert stats == {"plans": 1, "hits": 1, "misses": 1}
+
+    def test_shape_change_diverges(self):
+        service = PredictionService()
+        service.create_domain(
+            "a", config=PSSConfig(num_features=2, entries_per_feature=16)
+        )
+        service.create_domain(
+            "b", config=PSSConfig(num_features=2, entries_per_feature=32)
+        )
+        plan_a = service.domain("a").model.weights.plan
+        plan_b = service.domain("b").model.weights.plan
+        assert plan_a is not plan_b
+        assert plan_a.signature != plan_b.signature
+        assert service.plans.stats()["plans"] == 2
+
+    def test_restore_rebinds_without_recompiling(self):
+        config = PSSConfig(num_features=2)
+        service = PredictionService()
+        service.create_domain("dom", config=config)
+        weights = service.domain("dom").model.weights
+        original = weights.plan
+        state = weights.to_state()
+        weights.load_state(state)
+        assert weights._plan is None  # binding dropped with the swap
+        # Lazy re-bind resolves to a same-signature shared plan.
+        assert plan_signature(config) == weights.plan.signature
+
+    def test_plan_stats_surface_in_shard_summaries(self):
+        service = PredictionService(num_shards=2)
+        service.create_domain("dom", config=PSSConfig(num_features=2))
+        summaries = service.shard_summaries()
+        assert any("plans" in summary for summary in summaries)
+        cache = next(s["plan_cache"] for s in summaries
+                     if "plan_cache" in s)
+        assert cache["plans"] >= 1
+
+    def test_plan_trace_kinds_emitted(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        config = PSSConfig(num_features=2)
+        service = PredictionService(tracer=tracer, num_shards=1)
+        service.create_domain("a", config=config)
+        service.create_domain("b", config=config)
+        kinds = [event.kind for event in tracer.events()
+                 if event.kind.startswith("plan.")]
+        assert kinds == ["plan.compile", "plan.hit"]
