@@ -33,6 +33,8 @@ UTILITIES = {
     "all": "run every experiment in sequence",
     "models": "list the registered predictor models",
     "check": "run the project invariant checker (docs/INVARIANTS.md)",
+    "postmortem": "render a flight-recorder bundle (causal span tree "
+                  "+ critical paths)",
 }
 
 
@@ -41,10 +43,10 @@ def list_commands(out=None) -> None:
     out = out if out is not None else sys.stdout
     print("experiments:", file=out)
     for name, (_main, title) in EXPERIMENTS.items():
-        print(f"  {name:<9}{title}", file=out)
+        print(f"  {name:<11}{title}", file=out)
     print("utilities:", file=out)
     for name, title in UTILITIES.items():
-        print(f"  {name:<9}{title}", file=out)
+        print(f"  {name:<11}{title}", file=out)
     print("\nrun `python -m repro <command> --help` equivalents via the "
           "flags below;\ncommon flags: --quick --report --trace PATH "
           "--metrics", file=out)
@@ -75,6 +77,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as check_main
 
         return check_main(arguments[1:])
+    if arguments and arguments[0] == "postmortem":
+        # Takes a bundle path, not experiment flags - dispatch early
+        # like `check` so the experiment parser never sees it.
+        from repro.obs.postmortem import main as postmortem_main
+
+        return postmortem_main(arguments[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -98,6 +106,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="collect latency histograms and counters; "
                              "print a metrics snapshot after the run")
+    parser.add_argument("--slo", action="store_true",
+                        help="evaluate the stock SLO set over the run's "
+                             "trace and print a health table (implies "
+                             "tracing)")
+    parser.add_argument("--flight-recorder", metavar="DIR",
+                        help="record through a flight recorder that "
+                             "dumps CRC-checked post-mortem bundles "
+                             "into DIR on crash/chaos triggers (render "
+                             "with `python -m repro postmortem`)")
     parser.add_argument("--seed", type=int, metavar="N",
                         help="RNG seed forwarded to drivers that accept "
                              "one (e.g. tenants): same seed, "
@@ -140,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
         passthrough.extend(["--trace", parsed.trace])
     if parsed.metrics:
         passthrough.append("--metrics")
+    if parsed.slo:
+        passthrough.append("--slo")
+    if parsed.flight_recorder:
+        passthrough.extend(["--flight-recorder", parsed.flight_recorder])
     if parsed.seed is not None:
         passthrough.extend(["--seed", str(parsed.seed)])
     if parsed.chaos:

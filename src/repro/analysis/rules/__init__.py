@@ -22,6 +22,7 @@ from repro.analysis.rules.determinism import (
     SeededRngOnlyRule,
 )
 from repro.analysis.rules.plans import ImmutablePlanRule
+from repro.analysis.rules.spans import SpanDisciplineRule
 from repro.analysis.rules.tracing import (
     NoDeadTraceKindsRule,
     RegisteredTraceKindsRule,
@@ -34,6 +35,7 @@ RULE_CLASSES: tuple[Type[Rule], ...] = (
     NoWallClockRule,         # DET001
     SeededRngOnlyRule,       # DET002
     NoSwallowedExceptionsRule,  # EXC001
+    SpanDisciplineRule,         # OBS001
     ImmutablePlanRule,          # PLN001
     ReplicaReadOnlyRule,        # REP001
     RegisteredTraceKindsRule,   # TRC001

@@ -301,6 +301,36 @@ def tenant_table(usage_rows) -> str:
     )
 
 
+def health_table(verdicts) -> str:
+    """SLO health table from :meth:`SLOEngine.evaluate` verdicts.
+
+    One row per SLO: the long-window good/bad counts, both burn rates
+    (1.0 = spending the error budget exactly as fast as the objective
+    allows), the remaining budget fraction, and the ok/warn/page
+    verdict the multi-window alerting rule produced.
+    """
+    rows = []
+    for verdict in verdicts:
+        rows.append([
+            verdict.slo,
+            verdict.scope,
+            verdict.kind,
+            verdict.good,
+            verdict.bad,
+            f"{verdict.short_burn:.2f}",
+            f"{verdict.long_burn:.2f}",
+            f"{verdict.budget_remaining:.2f}",
+            verdict.verdict,
+        ])
+    if not rows:
+        return "<no SLOs configured>"
+    return format_table(
+        ["slo", "scope", "kind", "good", "bad", "burn(s)", "burn(l)",
+         "budget", "verdict"],
+        rows,
+    )
+
+
 def series_summary(series: Sequence[float], points: int = 8) -> str:
     """Downsample a long numeric series for textual display."""
     if not series:

@@ -42,6 +42,8 @@ class PSSClient:
         self._transport: Transport = make_transport(
             transport_kind, handle, latency, batch_size=batch_size
         )
+        self._tracer = NULL_TRACER
+        self._obs_shard = getattr(handle, "shard_label", "")
 
     # -- identity / introspection -------------------------------------------
 
@@ -65,8 +67,28 @@ class PSSClient:
 
     # -- the paper's three calls ---------------------------------------------
 
+    def _client_span(self, op: str, detail: dict | None = None):
+        """Root span for one application-facing call.
+
+        Opened once per public operation (so one ``predict`` yields one
+        span tree however deep the kernel path below runs), on the
+        transport account's simulated clock.  Callers pre-check
+        ``enabled`` and hold the handle in a ``with`` block.
+        """
+        return self._tracer.span(
+            f"client.{op}", domain=self.domain_name, transport="client",
+            shard=self._obs_shard, detail=detail,
+            clock=lambda: self._transport.account.total_ns,
+        )
+
     def predict(self, features: Sequence[int]) -> int:
         """Signed prediction score: ``int predict(int*, int)``."""
+        if self._tracer.enabled:
+            with self._client_span("predict"):
+                return self._predict_impl(features)
+        return self._predict_impl(features)
+
+    def _predict_impl(self, features: Sequence[int]) -> int:
         # Canonicalize once at the API boundary; caches and batch
         # buffers below reuse this tuple instead of re-tupling.
         return self._transport.predict(canonical_features(features))
@@ -82,17 +104,42 @@ class PSSClient:
         pass over the score cache and the domain's specialized plan).
         See docs/PERFORMANCE.md, "Batched and specialized prediction".
         """
+        if self._tracer.enabled:
+            with self._client_span("predict_batch",
+                                   detail={"rows": len(feature_rows)}):
+                return self._predict_batch_impl(feature_rows)
+        return self._predict_batch_impl(feature_rows)
+
+    def _predict_batch_impl(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
         return self._transport.predict_batch(
             [canonical_features(features) for features in feature_rows]
         )
 
     def update(self, features: Sequence[int], direction: bool) -> None:
         """Feedback: ``void update(int*, int, bool dir)``."""
+        if self._tracer.enabled:
+            with self._client_span("update"):
+                self._update_impl(features, direction)
+            return
+        self._update_impl(features, direction)
+
+    def _update_impl(self, features: Sequence[int],
+                     direction: bool) -> None:
         self._transport.update(canonical_features(features), direction)
 
     def reset(self, features: Sequence[int],
               reset_all: bool = False) -> None:
         """State wipe: ``void reset(int*, int, bool all)``."""
+        if self._tracer.enabled:
+            with self._client_span("reset"):
+                self._reset_impl(features, reset_all)
+            return
+        self._reset_impl(features, reset_all)
+
+    def _reset_impl(self, features: Sequence[int],
+                    reset_all: bool) -> None:
         self._transport.reset(canonical_features(features), reset_all)
 
     # -- conveniences ---------------------------------------------------------
@@ -111,6 +158,13 @@ class PSSClient:
 
     def flush(self) -> None:
         """Deliver any batched updates now."""
+        if self._tracer.enabled:
+            with self._client_span("flush"):
+                self._flush_impl()
+            return
+        self._flush_impl()
+
+    def _flush_impl(self) -> None:
         self._transport.flush()
 
     def close(self) -> None:
@@ -127,6 +181,8 @@ class PSSClient:
         :class:`repro.obs.MetricsRegistry` through this client's
         transport (and, on resilient clients, the degraded-mode
         machinery)."""
+        if tracer is not None:
+            self._tracer = tracer
         self._transport.attach_observability(tracer=tracer,
                                              metrics=metrics)
 
@@ -252,12 +308,10 @@ class ResilientClient(PSSClient):
         )
         self._fallback = fallback
         self._last_was_fallback = False
-        self._tracer = NULL_TRACER
 
     def attach_observability(self, tracer=None, metrics=None) -> None:
         super().attach_observability(tracer=tracer, metrics=metrics)
         if tracer is not None:
-            self._tracer = tracer
             self._breaker.tracer = tracer
             self._breaker.trace_domain = self.domain_name
             self._breaker.trace_clock = \
@@ -289,9 +343,9 @@ class ResilientClient(PSSClient):
         fb = self._fallback
         return fb(features) if callable(fb) else fb
 
-    # -- the guarded calls ---------------------------------------------------
+    # -- the guarded calls (span wrappers inherited from PSSClient) ----------
 
-    def predict(self, features: Sequence[int]) -> int:
+    def _predict_impl(self, features: Sequence[int]) -> int:
         features = canonical_features(features)
         self.stats.predictions += 1
         self._last_was_fallback = False
@@ -328,7 +382,7 @@ class ResilientClient(PSSClient):
         self._breaker.record_success()
         return score
 
-    def predict_batch(
+    def _predict_batch_impl(
         self, feature_rows: Sequence[Sequence[int]]
     ) -> list[int]:
         """Batch predict with whole-batch degraded semantics.
@@ -382,7 +436,8 @@ class ResilientClient(PSSClient):
         self._breaker.record_success()
         return scores
 
-    def update(self, features: Sequence[int], direction: bool) -> None:
+    def _update_impl(self, features: Sequence[int],
+                     direction: bool) -> None:
         features = canonical_features(features)
         if not self._breaker.allow():
             self.stats.dropped_updates += 1
@@ -406,8 +461,8 @@ class ResilientClient(PSSClient):
         else:
             self._breaker.record_success()
 
-    def reset(self, features: Sequence[int],
-              reset_all: bool = False) -> None:
+    def _reset_impl(self, features: Sequence[int],
+                    reset_all: bool) -> None:
         features = canonical_features(features)
         if not self._breaker.allow():
             self.stats.dropped_resets += 1
@@ -423,7 +478,7 @@ class ResilientClient(PSSClient):
         else:
             self._breaker.record_success()
 
-    def flush(self) -> None:
+    def _flush_impl(self) -> None:
         if self.pending_updates == 0:
             return
         if not self._breaker.allow():

@@ -28,9 +28,23 @@ explicit quotas behaves bit-identically to one with no controller.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.core.errors import QuotaExceededError
 from repro.core.policy import ClientIdentity
+
+
+class HealthProbe(Protocol):
+    """Advisory service-health signal the controller may consult.
+
+    Structurally matched by :class:`~repro.obs.slo.SLOEngine` (kept a
+    protocol so the kernel does not import the obs layer): ``True``
+    means an SLO covering the domain/shard is currently paging and new
+    load should, advisorily, be shed.
+    """
+
+    def should_shed(self, domain: str = "", shard: str = "") -> bool:
+        ...
 
 
 @dataclass(frozen=True)
@@ -81,12 +95,44 @@ class AdmissionController:
         self.default_quota = default_quota
         self._quotas: dict[ClientIdentity, TenantQuota] = dict(quotas or {})
         self._usage: dict[ClientIdentity, TenantUsage] = {}
+        self._health_probe: HealthProbe | None = None
+        #: times the health probe advised shedding when consulted -
+        #: purely observational until the async frontend enforces it
+        self.shed_advisories = 0
 
     # -- configuration -----------------------------------------------------
 
     def set_quota(self, identity: ClientIdentity,
                   quota: TenantQuota) -> None:
         self._quotas[identity] = quota
+
+    def set_health_probe(self, probe: HealthProbe | None) -> None:
+        """Attach (or clear) an advisory :class:`HealthProbe`.
+
+        Typically an :class:`~repro.obs.slo.SLOEngine` fed by the same
+        tracer the service records into.  The controller only *counts*
+        shed advice for now (:attr:`shed_advisories`); turning advice
+        into rejections is the async-frontend PR's job, so attaching a
+        probe cannot change any admission decision.
+        """
+        self._health_probe = probe
+
+    def health_advice(self, domain: str = "", shard: str = "") -> bool:
+        """Consult the health probe (False when none is attached).
+
+        Returns whether the probe advises shedding new load for this
+        domain/shard, and counts affirmative advice in
+        :attr:`shed_advisories`.  Advisory only: callers remain free to
+        admit the request, and the controller itself never refuses on
+        health grounds.
+        """
+        if self._health_probe is None:
+            return False
+        advice = self._health_probe.should_shed(domain=domain,
+                                                shard=shard)
+        if advice:
+            self.shed_advisories += 1
+        return advice
 
     def quota_for(self, identity: ClientIdentity) -> TenantQuota:
         return self._quotas.get(identity, self.default_quota)

@@ -12,13 +12,14 @@ charge on the handle's client-facing operations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.config import PSSConfig
 from repro.core.errors import ShardDownError
 from repro.core.models import PredictorModel
 from repro.core.policy import ClientIdentity, DomainPolicy, open_policy
 from repro.core.stats import DomainReport, PredictionStats
+from repro.obs.trace import NULL_TRACER, SpanHandleLike, TracerLike
 
 if TYPE_CHECKING:
     from repro.core.kernel.admission import AdmissionController
@@ -82,6 +83,20 @@ class Domain:
         one pass over their weights; others fall back to a scalar loop.
         Stats are recorded per row either way.
         """
+        shard = self.shard
+        tracer = shard.tracer if shard is not None else NULL_TRACER
+        if tracer.enabled:
+            # One span per batched pass over the weights: this is where
+            # the specialized plan (when the model holds one) executes.
+            with tracer.span("plan.execute", domain=self.name,
+                             transport="kernel", shard=self.shard_label,
+                             detail={"rows": len(feature_rows)}):
+                return self._predict_batch_impl(feature_rows)
+        return self._predict_batch_impl(feature_rows)
+
+    def _predict_batch_impl(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
         batch = getattr(self.model, "predict_batch", None)
         if batch is not None:
             scores = batch(feature_rows)
@@ -168,10 +183,45 @@ class DomainHandle:
         """
         return self._domain.generation
 
+    def _tracer(self) -> TracerLike:
+        shard = self._domain.shard
+        return shard.tracer if shard is not None else NULL_TRACER
+
+    def _kernel_span(self, op: str, tracer: TracerLike,
+                     detail: dict[str, Any] | None = None
+                     ) -> SpanHandleLike:
+        """Span for one kernel-side dispatch into this handle's domain
+        (callers pre-check ``enabled``; nested spans inherit the
+        enclosing transport span's simulated clock)."""
+        return tracer.span(
+            f"kernel.{op}", domain=self._domain.name, transport="kernel",
+            shard=self._domain.shard_label, detail=detail,
+        )
+
+    def _charge_predict(self, tracer: TracerLike, count: int = 1) -> None:
+        """Admission charge, wrapped in its own span when traced so the
+        tree shows admission as a distinct stage of the request."""
+        admission = self._admission
+        if admission is None:
+            return
+        if tracer.enabled:
+            with self._kernel_span("admission", tracer,
+                                   detail={"count": count}):
+                admission.charge_predict(self._identity, count=count)
+            return
+        admission.charge_predict(self._identity, count=count)
+
     def predict(self, features: Sequence[int]) -> int:
+        tracer = self._tracer()
+        if tracer.enabled:
+            with self._kernel_span("predict", tracer):
+                return self._predict_impl(features, tracer)
+        return self._predict_impl(features, tracer)
+
+    def _predict_impl(self, features: Sequence[int],
+                      tracer: TracerLike) -> int:
         self._domain.policy.check_predict(self._identity, self._domain.name)
-        if self._admission is not None:
-            self._admission.charge_predict(self._identity)
+        self._charge_predict(tracer)
         shard = self._domain.shard
         if shard is not None and shard.down:
             # Crashed primary: serve the bounded-stale follower answer
@@ -194,10 +244,19 @@ class DomainHandle:
         """
         if not feature_rows:
             return []
+        tracer = self._tracer()
+        if tracer.enabled:
+            with self._kernel_span("predict_batch", tracer,
+                                   detail={"rows": len(feature_rows)}):
+                return self._predict_batch_impl(feature_rows, tracer)
+        return self._predict_batch_impl(feature_rows, tracer)
+
+    def _predict_batch_impl(
+        self, feature_rows: Sequence[Sequence[int]],
+        tracer: TracerLike,
+    ) -> list[int]:
         self._domain.policy.check_predict(self._identity, self._domain.name)
-        if self._admission is not None:
-            self._admission.charge_predict(self._identity,
-                                           count=len(feature_rows))
+        self._charge_predict(tracer, count=len(feature_rows))
         shard = self._domain.shard
         if shard is not None and shard.down:
             domain = self._domain
@@ -214,6 +273,15 @@ class DomainHandle:
         self._domain.record_cached_prediction(score)
 
     def update(self, features: Sequence[int], direction: bool) -> None:
+        tracer = self._tracer()
+        if tracer.enabled:
+            with self._kernel_span("update", tracer):
+                self._update_impl(features, direction)
+            return
+        self._update_impl(features, direction)
+
+    def _update_impl(self, features: Sequence[int],
+                     direction: bool) -> None:
         self._domain.policy.check_update(self._identity, self._domain.name)
         shard = self._domain.shard
         if shard is not None and shard.down:

@@ -117,6 +117,16 @@ class SlotMigrator:
         if self.done:
             return True
         move = self._moves[0]
+        if self.tracer.enabled:
+            with self.tracer.span("migrate.step", transport="migrator",
+                                  shard=str(move.source),
+                                  detail={"slot": move.slot,
+                                          "source": move.source,
+                                          "dest": move.dest}):
+                return self._step_impl(move)
+        return self._step_impl(move)
+
+    def _step_impl(self, move: SlotMove) -> bool:
         if self.injector is not None and self.injector.migration_stall():
             return self._stall(move, "injected")
         source = self.service.shard(move.source)

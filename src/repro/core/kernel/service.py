@@ -475,29 +475,75 @@ class ShardedService:
         """
         if not requests:
             return []
+        if self.tracer.enabled:
+            with self.tracer.span("kernel.predict_batch",
+                                  transport="kernel",
+                                  detail={"rows": len(requests)}):
+                return self._predict_batch_impl(requests, identity)
+        return self._predict_batch_impl(requests, identity)
+
+    def _predict_batch_impl(
+        self, requests: Sequence[tuple[str, Sequence[int]]],
+        identity: ClientIdentity | None,
+    ) -> list[int]:
+        tracer = self.tracer
+        traced = tracer.enabled
         resolved = [(self.domain(name), features)
                     for name, features in requests]
         if identity is not None and self.admission is not None:
-            self.admission.charge_predict(identity, count=len(resolved))
+            if traced:
+                with tracer.span("kernel.admission", transport="kernel",
+                                 detail={"count": len(resolved)}):
+                    self.admission.charge_predict(identity,
+                                                  count=len(resolved))
+            else:
+                self.admission.charge_predict(identity,
+                                              count=len(resolved))
         #: shard id -> domain name -> request positions, insertion-ordered
         groups: dict[int, dict[str, list[int]]] = {}
-        for position, (domain, _features) in enumerate(resolved):
-            groups.setdefault(domain.shard_id, {}) \
-                  .setdefault(domain.name, []).append(position)
+        if traced:
+            with tracer.span("kernel.route", transport="kernel",
+                             detail={"rows": len(resolved)}) as route:
+                for position, (domain, _features) in enumerate(resolved):
+                    groups.setdefault(domain.shard_id, {}) \
+                          .setdefault(domain.name, []).append(position)
+                route.annotate(shards=len(groups))
+        else:
+            for position, (domain, _features) in enumerate(resolved):
+                groups.setdefault(domain.shard_id, {}) \
+                      .setdefault(domain.name, []).append(position)
         scores: list[int | None] = [None] * len(resolved)
         for shard_id in sorted(groups):
-            for _name, positions in groups[shard_id].items():
-                domain = resolved[positions[0]][0]
-                rows = [resolved[position][1] for position in positions]
-                shard = domain.shard
-                if shard is not None and shard.down:
-                    row_scores = [shard.failover_predict(domain, row)
-                                  for row in rows]
-                else:
-                    row_scores = domain.predict_batch(rows)
-                for position, score in zip(positions, row_scores):
-                    scores[position] = score
+            if traced:
+                rows_here = sum(len(positions)
+                                for positions in groups[shard_id].values())
+                with tracer.span("kernel.dispatch", transport="kernel",
+                                 shard=str(shard_id),
+                                 detail={"rows": rows_here}):
+                    self._dispatch_shard_batch(groups[shard_id],
+                                               resolved, scores)
+            else:
+                self._dispatch_shard_batch(groups[shard_id],
+                                           resolved, scores)
         return scores  # type: ignore[return-value]
+
+    def _dispatch_shard_batch(
+        self, by_domain: dict[str, list[int]],
+        resolved: Sequence[tuple[Domain, Sequence[int]]],
+        scores: list[int | None],
+    ) -> None:
+        """Score one shard's slice of a batch into ``scores`` in place."""
+        for _name, positions in by_domain.items():
+            domain = resolved[positions[0]][0]
+            rows = [resolved[position][1] for position in positions]
+            shard = domain.shard
+            if shard is not None and shard.down:
+                row_scores = [shard.failover_predict(domain, row)
+                              for row in rows]
+            else:
+                row_scores = domain.predict_batch(rows)
+            for position, score in zip(positions, row_scores):
+                scores[position] = score
 
     def update(self, name: str, features: Sequence[int],
                direction: bool) -> None:

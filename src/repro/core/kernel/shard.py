@@ -140,6 +140,15 @@ class Shard:
         :class:`~repro.core.errors.ShardDownError` when no follower
         holds the domain (e.g. it was created after the last sync).
         """
+        if self.tracer.enabled:
+            with self.tracer.span("kernel.failover", domain=domain.name,
+                                  transport="replica",
+                                  shard=str(self.shard_id)):
+                return self._failover_predict_impl(domain, features)
+        return self._failover_predict_impl(domain, features)
+
+    def _failover_predict_impl(self, domain: Domain,
+                               features: tuple[int, ...] | list[int]) -> int:
         candidates = [
             replica for replica in self.replicas
             if domain.name in replica.followers

@@ -178,8 +178,26 @@ class Transport:
             detail=detail, shard=self._obs_shard,
         )
 
+    def _op_span(self, op: str, detail: dict | None = None):
+        """Span covering one boundary crossing on this transport's
+        timeline (callers pre-check ``enabled`` and hold the handle in
+        a ``with`` block; the account clock makes durations simulated
+        ns, so the span is exactly what the crossing charged)."""
+        return self._tracer.span(
+            f"{self.name}.{op}", domain=self._obs_domain,
+            transport=self.name, shard=self._obs_shard, detail=detail,
+            clock=lambda: self.account.total_ns,
+        )
+
     def reset(self, features: Sequence[int], reset_all: bool) -> None:
         """Resets always cross via syscall: they write kernel state."""
+        if self._tracer.enabled:
+            with self._op_span("reset"):
+                self._reset_impl(features, reset_all)
+            return
+        self._reset_impl(features, reset_all)
+
+    def _reset_impl(self, features: Sequence[int], reset_all: bool) -> None:
         self._ensure_open()
         self.account.charge_syscall(self._latency.syscall_ns)
         self.account.charge_op("reset", self._latency.syscall_ns)
@@ -220,6 +238,12 @@ class SyscallTransport(Transport):
     name = "syscall"
 
     def predict(self, features: Sequence[int]) -> int:
+        if self._tracer.enabled:
+            with self._op_span("predict"):
+                return self._predict_impl(features)
+        return self._predict_impl(features)
+
+    def _predict_impl(self, features: Sequence[int]) -> int:
         self._ensure_open()
         self.account.charge_syscall(self._latency.syscall_ns)
         self.account.charge_op("predict", self._latency.syscall_ns)
@@ -251,6 +275,15 @@ class SyscallTransport(Transport):
         scores), and a fault sequence observed under scalar predicts
         will not line up with one observed under batching.
         """
+        if self._tracer.enabled:
+            with self._op_span("predict_batch",
+                               detail={"rows": len(feature_rows)}):
+                return self._predict_batch_impl(feature_rows)
+        return self._predict_batch_impl(feature_rows)
+
+    def _predict_batch_impl(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
         self._ensure_open()
         rows = [canonical_features(features) for features in feature_rows]
         if not rows:
@@ -271,6 +304,13 @@ class SyscallTransport(Transport):
         return self._target_predict_rows(rows)
 
     def update(self, features: Sequence[int], direction: bool) -> None:
+        if self._tracer.enabled:
+            with self._op_span("update"):
+                self._update_impl(features, direction)
+            return
+        self._update_impl(features, direction)
+
+    def _update_impl(self, features: Sequence[int], direction: bool) -> None:
         self._ensure_open()
         fault = self._syscall_fault()
         if fault is not None:
@@ -405,6 +445,12 @@ class VdsoTransport(Transport):
         return len(self._score_cache)
 
     def predict(self, features: Sequence[int]) -> int:
+        if self._tracer.enabled:
+            with self._op_span("predict"):
+                return self._predict_impl(features)
+        return self._predict_impl(features)
+
+    def _predict_impl(self, features: Sequence[int]) -> int:
         self._ensure_open()
         self.account.charge_vdso(self._latency.vdso_predict_ns)
         self.account.charge_op("predict", self._latency.vdso_predict_ns)
@@ -464,6 +510,15 @@ class VdsoTransport(Transport):
         of a pending row counts as the cache hit it would have been
         (its score is filled in once the batched call returns).
         """
+        if self._tracer.enabled:
+            with self._op_span("predict_batch",
+                               detail={"rows": len(feature_rows)}):
+                return self._predict_batch_impl(feature_rows)
+        return self._predict_batch_impl(feature_rows)
+
+    def _predict_batch_impl(
+        self, feature_rows: Sequence[Sequence[int]]
+    ) -> list[int]:
         self._ensure_open()
         rows = [canonical_features(features) for features in feature_rows]
         account = self.account
@@ -581,6 +636,13 @@ class VdsoTransport(Transport):
             self._score_cache_generation = -1
 
     def update(self, features: Sequence[int], direction: bool) -> None:
+        if self._tracer.enabled:
+            with self._op_span("update"):
+                self._update_impl(features, direction)
+            return
+        self._update_impl(features, direction)
+
+    def _update_impl(self, features: Sequence[int], direction: bool) -> None:
         self._ensure_open()
         self._buffer.add(features, direction)
         if self._tracer.enabled:
@@ -590,6 +652,14 @@ class VdsoTransport(Transport):
             self.flush()
 
     def flush(self) -> None:
+        if self._tracer.enabled and len(self._buffer):
+            with self._op_span("flush",
+                               detail={"records": len(self._buffer)}):
+                self._flush_impl()
+            return
+        self._flush_impl()
+
+    def _flush_impl(self) -> None:
         self._ensure_open()
         records = self._buffer.drain()
         if not records:

@@ -139,7 +139,18 @@ class Histogram:
         return self.percentile(0.99)
 
     def merge(self, other: "Histogram") -> None:
-        """Fold another histogram's observations into this one."""
+        """Fold another histogram's observations into this one.
+
+        Only histograms of this log-bucketed geometry can merge - the
+        buckets are keyed by exponent, so folding in anything with a
+        different boundary scheme would silently misfile counts.
+        Raises :class:`TypeError` for any other type rather than
+        duck-typing its way into a corrupt distribution.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError(
+                f"can only merge another log-bucketed Histogram, got "
+                f"{type(other).__name__}")
         self.count += other.count
         self.sum += other.sum
         self.min = min(self.min, other.min)

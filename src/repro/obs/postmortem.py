@@ -1,0 +1,152 @@
+"""Render flight-recorder bundles: causal trees and critical paths.
+
+``python -m repro postmortem BUNDLE`` loads a CRC-checked bundle
+(:func:`repro.obs.flightrec.load_bundle`), reconstructs the span forest,
+and prints (1) the trigger and counters, (2) the causal tree of the most
+recent requests with per-span simulated-ns durations and statuses, and
+(3) the slowest root-to-leaf critical paths - the "why was p99 slow"
+answer the flat event ring cannot give.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, Sequence
+
+from repro.obs.flightrec import load_bundle
+from repro.obs.spans import Span, SpanLike, _as_span, span_children
+
+#: cap the rendered tree; a bundle can hold tens of thousands of spans
+MAX_TREE_SPANS = 200
+MAX_PATHS = 5
+
+
+def _forest(spans: Iterable[SpanLike]) -> tuple[list[Span],
+                                                dict[int, list[Span]]]:
+    """Roots + children map; spans whose parent was evicted from the
+    ring are treated as roots (a bundle keeps the most recent window,
+    not necessarily whole trees)."""
+    resolved = [_as_span(span) for span in spans]
+    ids = {span.span_id for span in resolved}
+    children = span_children(resolved)
+    roots = [span for span in resolved
+             if span.parent_id == 0 or span.parent_id not in ids]
+    return roots, children
+
+
+def render_tree(spans: Sequence[SpanLike],
+                max_spans: int = MAX_TREE_SPANS) -> str:
+    """Indented causal tree, one line per span, most recent roots last."""
+    roots, children = _forest(spans)
+    lines: list[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        if len(lines) >= max_spans:
+            return
+        where = "/".join(part for part in (span.domain, span.shard) if part)
+        status = "" if span.status == "ok" else f"  [{span.status}]"
+        extra = f"  {span.detail}" if span.detail else ""
+        lines.append(
+            f"{'  ' * depth}{span.name}"
+            f"{f'  ({where})' if where else ''}"
+            f"  {span.dur_ns:.2f} ns{status}{extra}")
+        for child in children.get(span.span_id, []):
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    if not lines:
+        return "(no spans recorded)"
+    total = len(spans)
+    if len(lines) >= max_spans:
+        lines.append(f"... ({total} spans; showing first {max_spans})")
+    return "\n".join(lines)
+
+
+def critical_paths(spans: Sequence[SpanLike],
+                   top: int = MAX_PATHS) -> list[tuple[float, list[Span]]]:
+    """The ``top`` slowest root-to-leaf paths by root duration.
+
+    Within a tree, the path follows the slowest child at every level -
+    the chain that kept the request's critical path busy longest.
+    """
+    roots, children = _forest(spans)
+    ranked = sorted(roots, key=lambda span: span.dur_ns, reverse=True)
+    paths: list[tuple[float, list[Span]]] = []
+    for root in ranked[:top]:
+        path = [root]
+        cursor = root
+        while True:
+            kids = children.get(cursor.span_id, [])
+            if not kids:
+                break
+            cursor = max(kids, key=lambda span: span.dur_ns)
+            path.append(cursor)
+        paths.append((root.dur_ns, path))
+    return paths
+
+
+def render_critical_paths(spans: Sequence[SpanLike],
+                          top: int = MAX_PATHS) -> str:
+    paths = critical_paths(spans, top=top)
+    if not paths:
+        return "(no spans recorded)"
+    lines = []
+    for dur_ns, path in paths:
+        chain = " -> ".join(span.name for span in path)
+        lines.append(f"{dur_ns:10.2f} ns  {chain}")
+    return "\n".join(lines)
+
+
+def render_bundle(payload: dict[str, Any]) -> str:
+    """Full post-mortem text for one loaded bundle payload."""
+    spans = list(payload.get("spans", []))
+    open_spans = list(payload.get("open_spans", []))
+    events = payload.get("events", [])
+    lines = [
+        f"post-mortem bundle (schema {payload.get('schema')})",
+        f"trigger: {payload.get('trigger')}   seq: {payload.get('seq')}",
+        f"events: {len(events)} (+{payload.get('dropped_events', 0)} "
+        f"dropped)   spans: {len(spans)} "
+        f"(+{payload.get('dropped_spans', 0)} dropped)   "
+        f"open at trigger: {len(open_spans)}",
+        "",
+        "== causal tree (completed spans) ==",
+        render_tree(spans),
+    ]
+    if open_spans:
+        lines += [
+            "",
+            "== open at trigger (crash context, outermost first) ==",
+        ]
+        for raw in open_spans:
+            span = _as_span(raw)
+            where = "/".join(p for p in (span.domain, span.shard) if p)
+            lines.append(
+                f"  {span.name}{f' ({where})' if where else ''} "
+                f"started at {span.start_ns:.2f} ns")
+    lines += [
+        "",
+        "== slowest critical paths ==",
+        render_critical_paths(spans),
+    ]
+    tail = [e for e in events if e.get("kind") == payload.get("trigger")]
+    if tail:
+        lines += ["", "== trigger event ==", f"  {tail[-1]}"]
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str]) -> int:
+    """``python -m repro postmortem BUNDLE`` entry point."""
+    args = [arg for arg in argv if arg not in ("-h", "--help")]
+    if len(args) != len(argv) or len(args) != 1:
+        print("usage: python -m repro postmortem BUNDLE.json",
+              file=sys.stderr)
+        return 2
+    try:
+        payload = load_bundle(args[0])
+    except (OSError, ValueError) as exc:
+        print(f"postmortem: {exc}", file=sys.stderr)
+        return 2
+    print(render_bundle(payload))
+    return 0

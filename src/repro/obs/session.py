@@ -1,4 +1,5 @@
-"""CLI glue: turn ``--trace``/``--metrics`` flags into live instruments.
+"""CLI glue: turn ``--trace``/``--metrics``/``--slo``/``--flight-recorder``
+flags into live instruments.
 
 Experiment drivers receive their arguments as a raw ``list[str]`` (the
 ``python -m repro`` dispatcher forwards flags verbatim), so this module
@@ -6,12 +7,15 @@ provides the one parser they share: :func:`obs_from_args` pops the
 observability flags out of an argument list and returns an
 :class:`ObsSession` holding the tracer and metrics registry to thread
 into :class:`~repro.core.service.PredictionService`.  After the run,
-:meth:`ObsSession.finish` writes the trace artifacts and renders the
-metrics snapshot.
+:meth:`ObsSession.finish` writes the trace artifacts (events JSONL,
+Chrome trace with nested spans, spans JSONL), evaluates the stock SLO
+set into a health table when ``--slo`` was given, and lists any
+post-mortem bundles the flight recorder dumped.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -20,7 +24,9 @@ from repro.obs.exporters import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOEngine
 from repro.obs.trace import NULL_TRACER, Tracer, TracerLike
 
 #: ring capacity for CLI-driven traces: big enough for a --quick run's
@@ -35,6 +41,8 @@ class ObsSession:
     tracer: TracerLike
     metrics: MetricsRegistry | None
     trace_path: str | None
+    slo: bool = False
+    flight_dir: str | None = None
 
     @property
     def active(self) -> bool:
@@ -56,11 +64,51 @@ class ObsSession:
                 f"(Chrome trace-event; open in Perfetto) and "
                 f"{events_path} (JSONL)"
             )
+            spans = self.tracer.spans()
+            if spans:
+                spans_path = Path(str(self.trace_path) + ".spans.jsonl")
+                with spans_path.open("w", encoding="utf-8") as handle:
+                    for span in spans:
+                        handle.write(json.dumps(span.as_dict(),
+                                                separators=(",", ":")))
+                        handle.write("\n")
+                lines.append(
+                    f"trace: {len(spans)} spans -> {spans_path} (JSONL)")
             if self.tracer.dropped:
                 lines.append(
                     f"trace: ring buffer dropped "
                     f"{self.tracer.dropped} oldest events"
                 )
+            if self.tracer.span_dropped:
+                lines.append(
+                    f"trace: span ring dropped "
+                    f"{self.tracer.span_dropped} oldest spans"
+                )
+        if self.slo and self.tracer.enabled:
+            # Evaluate BEFORE listing bundles: a paging SLO records a
+            # `slo.page` event, which on a flight recorder triggers one
+            # more dump that must appear in the listing below.
+            from repro.bench.tables import health_table
+
+            engine = SLOEngine(tracer=self.tracer)
+            engine.consume(self.tracer.events())
+            verdicts = engine.evaluate()
+            lines.append("SLO health (multi-window burn rates):")
+            lines.append(health_table(verdicts))
+        if isinstance(self.tracer, FlightRecorder):
+            for bundle in self.tracer.bundles:
+                lines.append(f"flight recorder: post-mortem bundle "
+                             f"-> {bundle}")
+            if self.tracer.suppressed_dumps:
+                lines.append(
+                    f"flight recorder: suppressed "
+                    f"{self.tracer.suppressed_dumps} dumps past the "
+                    f"{self.tracer.max_bundles}-bundle cap")
+            if not self.tracer.bundles:
+                lines.append(
+                    "flight recorder: no trigger fired; no bundle "
+                    "written (use FlightRecorder.dump() for a manual "
+                    "snapshot)")
         if self.metrics is not None:
             lines.append("metrics snapshot (Prometheus text format):")
             lines.append(prometheus_text(self.metrics).rstrip("\n"))
@@ -96,24 +144,52 @@ def histogram_summary(metrics: MetricsRegistry) -> str:
 
 
 def obs_from_args(args: list[str]) -> ObsSession:
-    """Extract ``--trace PATH`` / ``--metrics`` from a raw argv list.
+    """Extract the observability flags from a raw argv list.
+
+    Recognised flags: ``--trace PATH`` (Chrome trace + JSONL exports),
+    ``--metrics`` (registry + Prometheus snapshot), ``--slo`` (evaluate
+    the stock SLO set over the trace and print a health table), and
+    ``--flight-recorder DIR`` (make the session tracer a
+    :class:`~repro.obs.flightrec.FlightRecorder` dumping post-mortem
+    bundles into ``DIR`` on trigger events).  ``--slo`` and
+    ``--flight-recorder`` imply an enabled tracer even without
+    ``--trace``.
 
     Unknown flags are left untouched; the returned session is inactive
-    (null tracer, no registry) when neither flag is present, so callers
-    can unconditionally thread ``session.tracer``/``session.metrics``
-    into a service.
+    (null tracer, no registry) when no flag is present, so callers can
+    unconditionally thread ``session.tracer``/``session.metrics`` into
+    a service.
     """
     trace_path: str | None = None
+    flight_dir: str | None = None
     metrics_requested = False
+    slo_requested = False
     if "--trace" in args:
         index = args.index("--trace")
         if index + 1 >= len(args):
             raise SystemExit("--trace requires a file path argument")
         trace_path = args[index + 1]
+    if "--flight-recorder" in args:
+        index = args.index("--flight-recorder")
+        if index + 1 >= len(args):
+            raise SystemExit(
+                "--flight-recorder requires a directory argument")
+        flight_dir = args[index + 1]
     if "--metrics" in args:
         metrics_requested = True
-    tracer: TracerLike = (Tracer(capacity=CLI_TRACE_CAPACITY)
-                          if trace_path else NULL_TRACER)
+    if "--slo" in args:
+        slo_requested = True
+    tracer: TracerLike
+    if flight_dir:
+        tracer = FlightRecorder(flight_dir,
+                                capacity=CLI_TRACE_CAPACITY)
+    elif trace_path or slo_requested:
+        tracer = Tracer(capacity=CLI_TRACE_CAPACITY)
+    else:
+        tracer = NULL_TRACER
     registry = MetricsRegistry() if metrics_requested else None
+    if registry is not None and isinstance(tracer, FlightRecorder):
+        tracer.attach_metrics(registry)
     return ObsSession(tracer=tracer, metrics=registry,
-                      trace_path=trace_path)
+                      trace_path=trace_path, slo=slo_requested,
+                      flight_dir=flight_dir)

@@ -1,0 +1,283 @@
+"""Declarative SLOs with multi-window error-budget burn rates.
+
+The ROADMAP's async serving frontend needs a back-pressure signal that
+is *about service health*, not raw counters.  This module turns the
+trace stream into that signal: an :class:`SLO` declares an objective
+("99% of predicts under 100 simulated ns", "99.9% of operations
+fault-free", "replica lag at most 2 generations"), an :class:`SLOEngine`
+folds :class:`~repro.obs.trace.TraceEvent` streams into rolling
+simulated-time windows per SLO, and :meth:`SLOEngine.evaluate` produces
+machine-readable :class:`SLOVerdict` rows with short- and long-window
+burn rates (the standard multi-window alerting construction: paging only
+when both windows burn avoids flapping on blips while still catching
+fast burns quickly).
+
+A ``page`` verdict is itself a trace event (``slo.page``), so a flight
+recorder (:mod:`repro.obs.flightrec`) holding the same tracer dumps a
+post-mortem bundle the moment an SLO starts paging.  The
+:class:`~repro.core.kernel.admission.AdmissionController` can hold the
+engine as an advisory health probe (:meth:`AdmissionController
+.set_health_probe`); actual shedding is wired in the async-frontend PR.
+
+Timestamps are whatever simulated clock the emitting component stamped
+(per-transport latency accounts, the tracer's sequence fallback), so
+windows are per-emitter timelines merged - fine for an advisory signal,
+and deterministic by construction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.obs.trace import NULL_TRACER, TraceEvent, TracerLike
+
+#: operation kinds that count as served requests for error-rate SLOs
+OP_KINDS = frozenset({"predict", "predict_batch", "update", "flush",
+                      "reset"})
+
+#: trace kinds evaluated by staleness SLOs: ``failover`` carries the
+#: serving follower's generation lag, ``stale_read`` is an injected
+#: stale answer (always a staleness violation)
+STALENESS_KINDS = frozenset({"failover", "stale_read"})
+
+VALID_KINDS = ("latency", "error", "staleness")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective over a scope of the service.
+
+    ``objective`` is the target good fraction per window - a latency SLO
+    with ``objective=0.99`` and ``threshold_ns=100`` reads "p99 latency
+    at most 100 simulated ns".  ``scope`` selects which events the SLO
+    observes: a domain name (per-tenant SLOs), ``"shard:<id>"`` (per
+    shard), or ``"*"`` for everything.
+    """
+
+    name: str
+    kind: str
+    scope: str = "*"
+    objective: float = 0.99
+    #: latency SLOs: a request is good iff its ``dur_ns`` is at most this
+    threshold_ns: float = 0.0
+    #: staleness SLOs: a failover answer is good iff its generation lag
+    #: is at most this
+    max_lag: int = 0
+    #: which operation kinds a latency SLO times
+    ops: tuple[str, ...] = ("predict", "predict_batch")
+    short_window_ns: float = 2_000.0
+    long_window_ns: float = 20_000.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in VALID_KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; expected one of "
+                f"{VALID_KINDS}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}")
+        if self.short_window_ns <= 0 \
+                or self.long_window_ns < self.short_window_ns:
+            raise ValueError(
+                "windows must satisfy 0 < short <= long, got "
+                f"{self.short_window_ns} / {self.long_window_ns}")
+
+    def matches(self, event: TraceEvent) -> bool:
+        """Whether ``event`` falls inside this SLO's scope."""
+        if self.scope == "*":
+            return True
+        if self.scope.startswith("shard:"):
+            return event.shard == self.scope[len("shard:"):]
+        return event.domain == self.scope
+
+
+@dataclass
+class SLOVerdict:
+    """Machine-readable health of one SLO at evaluation time."""
+
+    slo: str
+    scope: str
+    kind: str
+    verdict: str          # "ok" | "warn" | "page"
+    good: int             # long-window good observations
+    bad: int              # long-window bad observations
+    short_burn: float     # error-budget burn rate, short window
+    long_burn: float      # error-budget burn rate, long window
+    budget_remaining: float  # fraction of the long-window budget left
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "slo": self.slo, "scope": self.scope, "kind": self.kind,
+            "verdict": self.verdict, "good": self.good, "bad": self.bad,
+            "short_burn": self.short_burn, "long_burn": self.long_burn,
+            "budget_remaining": self.budget_remaining,
+        }
+
+
+def default_slos() -> tuple[SLO, ...]:
+    """The stock SLO set the ``--slo`` driver flag evaluates.
+
+    Thresholds come from the paper's cost model: a vDSO predict costs
+    4.19 ns and a syscall 68 ns, so 100 simulated ns is "no predict
+    waited behind more than a crossing's worth of work".
+    """
+    return (
+        SLO("predict-latency", "latency", objective=0.99,
+            threshold_ns=100.0),
+        SLO("op-errors", "error", objective=0.95),
+        SLO("replica-staleness", "staleness", objective=0.90, max_lag=2),
+    )
+
+
+class SLOEngine:
+    """Folds trace events into rolling windows and verdicts per SLO."""
+
+    #: long-window burn rate that turns a verdict ``warn``
+    WARN_BURN = 1.0
+    #: burn rate that (on both windows) turns a verdict ``page``
+    PAGE_BURN = 4.0
+
+    def __init__(self, slos: Iterable[SLO] | None = None,
+                 tracer: TracerLike = NULL_TRACER) -> None:
+        self.slos: tuple[SLO, ...] = (tuple(slos) if slos is not None
+                                      else default_slos())
+        names = [slo.name for slo in self.slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        #: tracer that receives ``slo.page`` events (give the engine the
+        #: same tracer the service traces into and a flight recorder
+        #: will snapshot the exact window that burned the budget)
+        self.tracer = tracer
+        self._samples: dict[str, deque[tuple[float, bool]]] = {
+            slo.name: deque() for slo in self.slos
+        }
+        self._now = 0.0
+        #: SLOs currently paging - each pages one ``slo.page`` event per
+        #: excursion, not one per evaluate() call
+        self._paging: set[str] = set()
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, slo_name: str, ts_ns: float, good: bool) -> None:
+        """Record one good/bad observation against one SLO (the event
+        mapping below uses this; live components may too)."""
+        self._samples[slo_name].append((ts_ns, good))
+        if ts_ns > self._now:
+            self._now = ts_ns
+
+    def consume(self, events: Iterable[TraceEvent]) -> None:
+        """Fold a trace stream into every matching SLO's window."""
+        for event in events:
+            for slo in self.slos:
+                good = self._classify(slo, event)
+                if good is not None and slo.matches(event):
+                    self.observe(slo.name, event.ts_ns, good)
+
+    @staticmethod
+    def _classify(slo: SLO, event: TraceEvent) -> bool | None:
+        """Map one event to good/bad under ``slo`` (None: not observed)."""
+        if slo.kind == "latency":
+            if event.kind not in slo.ops:
+                return None
+            return event.dur_ns <= slo.threshold_ns
+        if slo.kind == "error":
+            if event.kind == "fault":
+                return False
+            if event.kind in OP_KINDS:
+                return True
+            return None
+        # staleness
+        if event.kind not in STALENESS_KINDS:
+            return None
+        if event.kind == "stale_read":
+            return False
+        lag = (event.detail or {}).get("lag", 0)
+        return int(lag) <= slo.max_lag
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _window(self, slo: SLO, window_ns: float) -> tuple[int, int]:
+        """(good, bad) counts within the trailing ``window_ns``."""
+        cutoff = self._now - window_ns
+        good = bad = 0
+        for ts_ns, ok in self._samples[slo.name]:
+            if ts_ns < cutoff:
+                continue
+            if ok:
+                good += 1
+            else:
+                bad += 1
+        return good, bad
+
+    @staticmethod
+    def _burn(good: int, bad: int, objective: float) -> float:
+        """Burn rate: observed bad fraction over the budgeted fraction.
+
+        1.0 means the error budget is being spent exactly as fast as the
+        objective allows; above that the budget runs out early.
+        """
+        total = good + bad
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - objective)
+
+    def evaluate(self) -> list[SLOVerdict]:
+        """Verdicts for every SLO at the latest observed timestamp.
+
+        Emits one ``slo.page`` trace event per SLO per paging excursion,
+        and drops samples that have aged out of the long window.
+        """
+        verdicts: list[SLOVerdict] = []
+        for slo in self.slos:
+            samples = self._samples[slo.name]
+            cutoff = self._now - slo.long_window_ns
+            while samples and samples[0][0] < cutoff:
+                samples.popleft()
+            good, bad = self._window(slo, slo.long_window_ns)
+            long_burn = self._burn(good, bad, slo.objective)
+            short_good, short_bad = self._window(slo, slo.short_window_ns)
+            short_burn = self._burn(short_good, short_bad, slo.objective)
+            if short_burn >= self.PAGE_BURN and long_burn >= self.PAGE_BURN:
+                verdict = "page"
+            elif long_burn >= self.WARN_BURN or short_burn >= self.PAGE_BURN:
+                verdict = "warn"
+            else:
+                verdict = "ok"
+            if verdict == "page":
+                if slo.name not in self._paging:
+                    self._paging.add(slo.name)
+                    self.tracer.record(
+                        "slo.page", domain=slo.scope, transport="slo",
+                        ts_ns=self._now,
+                        detail={"slo": slo.name,
+                                "short_burn": round(short_burn, 3),
+                                "long_burn": round(long_burn, 3)})
+            else:
+                self._paging.discard(slo.name)
+            verdicts.append(SLOVerdict(
+                slo=slo.name, scope=slo.scope, kind=slo.kind,
+                verdict=verdict, good=good, bad=bad,
+                short_burn=short_burn, long_burn=long_burn,
+                budget_remaining=max(0.0, 1.0 - long_burn),
+            ))
+        return verdicts
+
+    # -- advisory hooks ------------------------------------------------------
+
+    def should_shed(self, domain: str = "", shard: str = "") -> bool:
+        """Advisory back-pressure probe: is any SLO covering this
+        domain/shard currently paging?  (Consulted by the admission
+        controller; nothing is enforced yet.)"""
+        for verdict in self.evaluate():
+            if verdict.verdict != "page":
+                continue
+            if verdict.scope == "*":
+                return True
+            if verdict.scope.startswith("shard:"):
+                if shard and verdict.scope[len("shard:"):] == shard:
+                    return True
+            elif domain and verdict.scope == domain:
+                return True
+        return False

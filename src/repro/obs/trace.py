@@ -18,7 +18,10 @@ ever built.
 
 from __future__ import annotations
 
+from types import TracebackType
 from typing import Any, Callable, NamedTuple, Union
+
+from repro.obs.spans import ROOT_PARENT, Span
 
 #: event kinds emitted by the instrumented stack (transports, clients,
 #: fault injector, checkpoint manager).  Exporters and tests treat this
@@ -50,6 +53,7 @@ EVENT_KINDS = frozenset({
     "predict_batch",      # a batch of predictions crossed in one syscall
     "plan.compile",       # the plan compiler specialized a new shape
     "plan.hit",           # an existing specialized plan was shared
+    "slo.page",           # an SLO's error budget is burning page-fast
 })
 
 
@@ -73,6 +77,10 @@ class TraceEvent(NamedTuple):
     #: exports) on single-shard services, keeping their output
     #: byte-identical to pre-sharding traces
     shard: str = ""
+    #: enclosing span at record time; 0 (and omitted from exports) when
+    #: no span was open, keeping span-free traces byte-identical to
+    #: pre-span output
+    span_id: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         d = {
@@ -85,6 +93,8 @@ class TraceEvent(NamedTuple):
         }
         if self.shard:
             d["shard"] = self.shard
+        if self.span_id:
+            d["span_id"] = self.span_id
         if self.detail:
             d["detail"] = self.detail
         return d
@@ -109,9 +119,18 @@ class Tracer:
         #: events recorded without an explicit timestamp
         self.clock = clock
         self.dropped = 0
+        self.span_dropped = 0
         self._ring: list[TraceEvent] = []
         self._head = 0  # next write position once the ring is full
         self._seq = 0   # fallback timestamp: monotonic event number
+        self._spans: list[Span] = []   # completed spans, same ring scheme
+        self._span_head = 0
+        self._span_stack: list[Span] = []  # open spans, innermost last
+        self._next_span_id = 1
+        #: clocks of open spans that carry one (innermost last): a span
+        #: opened without its own clock inherits the enclosing span's,
+        #: so a whole request tree shares one simulated-ns timeline
+        self._clock_stack: list[Callable[[], float]] = []
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -121,13 +140,19 @@ class Tracer:
                generation: int = 0,
                detail: dict[str, Any] | None = None,
                shard: str = "") -> None:
-        """Append one event, evicting the oldest when full."""
+        """Append one event, evicting the oldest when full.
+
+        The event attaches to the innermost open span, if any - flat
+        events are not replaced by spans, they become their leaves.
+        """
         self._seq += 1
         if ts_ns is None:
             ts_ns = self.clock() if self.clock is not None else float(
                 self._seq)
+        stack = self._span_stack
         event = TraceEvent(ts_ns, kind, domain, transport, dur_ns,
-                           generation, detail, shard)
+                           generation, detail, shard,
+                           stack[-1].span_id if stack else ROOT_PARENT)
         ring = self._ring
         if len(ring) < self.capacity:
             ring.append(event)
@@ -136,14 +161,142 @@ class Tracer:
             self._head = (self._head + 1) % self.capacity
             self.dropped += 1
 
+    def span(self, name: str, domain: str = "", transport: str = "",
+             shard: str = "", ts_ns: float | None = None,
+             detail: dict[str, Any] | None = None,
+             clock: Callable[[], float] | None = None) -> SpanHandle:
+        """Open a span for the duration of a ``with`` block.
+
+        The only sanctioned way to open a span (OBS001 flags direct
+        ``begin_span``/``end_span`` use): the context manager closes it
+        on every path, stamping ``status`` from the in-flight exception.
+        ``clock`` overrides the tracer clock for this span (transports
+        pass their latency account so durations are simulated ns).
+        """
+        return SpanHandle(self, name, domain, transport, shard, ts_ns,
+                          detail, clock)
+
+    def begin_span(self, name: str, domain: str = "", transport: str = "",
+                   shard: str = "", ts_ns: float | None = None,
+                   detail: dict[str, Any] | None = None) -> Span:
+        """Low-level open: push a span onto the causality stack.
+
+        Prefer :meth:`span`; a begun span that is never passed to
+        :meth:`end_span` pins every later event to a stale parent.
+        """
+        self._seq += 1
+        if ts_ns is None:
+            ts_ns = self.clock() if self.clock is not None else float(
+                self._seq)
+        stack = self._span_stack
+        opened = Span(
+            span_id=self._next_span_id,
+            parent_id=stack[-1].span_id if stack else ROOT_PARENT,
+            name=name, domain=domain, transport=transport, shard=shard,
+            start_ns=ts_ns, detail=detail)
+        self._next_span_id += 1
+        stack.append(opened)
+        return opened
+
+    def end_span(self, span: Span, status: str = "ok",
+                 ts_ns: float | None = None) -> None:
+        """Low-level close: pop ``span`` and move it to the ring."""
+        self._seq += 1
+        if ts_ns is None:
+            ts_ns = self.clock() if self.clock is not None else float(
+                self._seq)
+        span.end_ns = ts_ns if ts_ns >= span.start_ns else span.start_ns
+        span.status = status
+        stack = self._span_stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mis-nested close: unwind defensively
+            stack.remove(span)
+        ring = self._spans
+        if len(ring) < self.capacity:
+            ring.append(span)
+        else:
+            ring[self._span_head] = span
+            self._span_head = (self._span_head + 1) % self.capacity
+            self.span_dropped += 1
+
+    def current_span_id(self) -> int:
+        stack = self._span_stack
+        return stack[-1].span_id if stack else ROOT_PARENT
+
     def events(self) -> list[TraceEvent]:
         """All buffered events, oldest first."""
         return self._ring[self._head:] + self._ring[:self._head]
+
+    def spans(self) -> list[Span]:
+        """All completed spans, completion order (children first)."""
+        return self._spans[self._span_head:] + self._spans[:self._span_head]
+
+    def open_spans(self) -> list[Span]:
+        """Spans still on the stack (outermost first) - crash context."""
+        return list(self._span_stack)
 
     def clear(self) -> None:
         self._ring = []
         self._head = 0
         self.dropped = 0
+        self._spans = []
+        self._span_head = 0
+        self._span_stack = []
+        self._clock_stack = []
+        self.span_dropped = 0
+        self._next_span_id = 1
+
+
+class SpanHandle:
+    """Context manager pairing one ``begin_span`` with one ``end_span``."""
+
+    __slots__ = ("_tracer", "_name", "_domain", "_transport", "_shard",
+                 "_ts_ns", "_detail", "_clock", "_span", "_pushed")
+
+    def __init__(self, tracer: Tracer, name: str, domain: str,
+                 transport: str, shard: str, ts_ns: float | None,
+                 detail: dict[str, Any] | None,
+                 clock: Callable[[], float] | None) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._domain = domain
+        self._transport = transport
+        self._shard = shard
+        self._ts_ns = ts_ns
+        self._detail = detail
+        self._clock = clock
+        self._span: Span | None = None
+        self._pushed = False
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        clock = self._clock
+        if clock is None and tracer._clock_stack:
+            clock = tracer._clock_stack[-1]
+            self._clock = clock
+        ts = self._ts_ns
+        if ts is None and clock is not None:
+            ts = clock()
+        self._span = tracer.begin_span(
+            self._name, domain=self._domain, transport=self._transport,
+            shard=self._shard, ts_ns=ts, detail=self._detail)
+        if clock is not None:
+            tracer._clock_stack.append(clock)
+            self._pushed = True
+        return self._span
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        span = self._span
+        if span is None:
+            return
+        if self._pushed:
+            self._tracer._clock_stack.pop()
+        end = self._clock() if self._clock is not None else None
+        status = "ok" if exc_type is None else f"error:{exc_type.__name__}"
+        self._tracer.end_span(span, status=status, ts_ns=end)
 
 
 class NullTracer:
@@ -156,6 +309,7 @@ class NullTracer:
     enabled = False
     capacity = 0
     dropped = 0
+    span_dropped = 0
     clock: Callable[[], float] | None = None
 
     def __len__(self) -> int:
@@ -168,15 +322,53 @@ class NullTracer:
                shard: str = "") -> None:
         pass
 
+    def span(self, name: str, domain: str = "", transport: str = "",
+             shard: str = "", ts_ns: float | None = None,
+             detail: dict[str, Any] | None = None,
+             clock: Callable[[], float] | None = None) -> NullSpanHandle:
+        return NULL_SPAN_HANDLE
+
+    def current_span_id(self) -> int:
+        return 0
+
     def events(self) -> list[TraceEvent]:
+        return []
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def open_spans(self) -> list[Span]:
         return []
 
     def clear(self) -> None:
         pass
 
 
+class NullSpanHandle:
+    """Shared no-op span context: nothing allocated, nothing recorded."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        return None
+
+
+#: shared inert span returned by the null handle; ``annotate`` on it is
+#: a no-op (``span_id == 0`` guard in :class:`~repro.obs.spans.Span`)
+NULL_SPAN = Span(span_id=0, parent_id=0, name="", status="ok")
+NULL_SPAN_HANDLE = NullSpanHandle()
+
+
 #: what components hold: a live :class:`Tracer` or the null object
 TracerLike = Union[Tracer, NullTracer]
+
+#: what ``tracer.span(...)`` returns: a live handle or the shared no-op
+SpanHandleLike = Union[SpanHandle, NullSpanHandle]
 
 #: shared disabled tracer; safe to use as a default everywhere
 NULL_TRACER = NullTracer()

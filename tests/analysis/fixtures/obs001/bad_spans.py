@@ -1,0 +1,26 @@
+"""OBS001 violations: raw begin/end pairs and un-with'ed span calls."""
+
+
+class Leaky:
+    def __init__(self, tracer):
+        self._tracer = tracer
+
+    def manual_pair(self, features):
+        span = self._tracer.begin_span("leaky.predict")  # OBS001 x1
+        try:
+            return sum(features)
+        finally:
+            self._tracer.end_span(span)  # OBS001 x2
+
+    def stored_handle(self):
+        handle = self._tracer.span("leaky.stored")  # OBS001 x3
+        handle.__enter__()
+        return handle
+
+    def helper_not_returned(self):
+        # A *span* helper sanctions only calls it directly returns.
+        handle = self._op_span("leaky")  # OBS001 x4
+        return handle
+
+    def _op_span(self, op):
+        return self._tracer.span(f"leaky.{op}")

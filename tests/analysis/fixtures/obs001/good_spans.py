@@ -1,0 +1,28 @@
+"""OBS001-clean span usage: with-items and forwarding helpers only."""
+
+
+class Component:
+    def __init__(self, tracer):
+        self._tracer = tracer
+
+    def _op_span(self, op):
+        # Forwarding helper: directly returns the handle for the
+        # caller's `with`, sanctioned because the function is *span*.
+        return self._tracer.span(f"component.{op}", domain="d")
+
+    def predict(self, features):
+        with self._op_span("predict"):
+            return sum(features)
+
+    def update(self, features):
+        with self._tracer.span("component.update", domain="d"):
+            return len(features)
+
+    def nested(self, rows):
+        with self._tracer.span("outer"):
+            with self._tracer.span("inner", detail={"rows": len(rows)}):
+                return rows
+
+    def snapshot(self):
+        # Attribute names that merely *mention* spans are not opens.
+        return self._tracer.spans(), self._tracer.open_spans()

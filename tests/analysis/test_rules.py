@@ -30,7 +30,7 @@ class TestRegistry:
     def test_expected_rules_present(self):
         assert set(rules_by_id()) == {
             "API001", "CTR001", "DET001", "DET002",
-            "EXC001", "PLN001", "REP001", "TRC001", "TRC002",
+            "EXC001", "OBS001", "PLN001", "REP001", "TRC001", "TRC002",
         }
 
     def test_all_rules_returns_fresh_instances(self):
@@ -169,6 +169,38 @@ class TestPln001:
         findings, _ = run_rules(
             Project(REPO_ROOT / "src" / "repro" / "core"),
             select_rules(["PLN001"]),
+        )
+        assert findings == []
+
+
+class TestObs001:
+    def test_span_discipline_violations_flagged(self, check_fixture):
+        findings, _ = check_fixture("obs001", ["OBS001"])
+        grouped = by_file(findings)
+        bad = grouped.pop("bad_spans.py")
+        messages = sorted(f.message for f in bad)
+        # Raw begin/end pair, a stored un-with'ed handle, and a helper
+        # call whose handle is stored instead of returned.
+        assert len(bad) == 4
+        assert any("begin_span" in m for m in messages)
+        assert any("end_span" in m for m in messages)
+        assert any("span(...)" in m for m in messages)
+        assert any("_op_span(...)" in m for m in messages)
+        assert all(f.rule_id == "OBS001" and f.severity == "error"
+                   for f in bad)
+        # good_spans.py: with-items, forwarding *span* helpers, and
+        # spans()/open_spans() reads - none flagged.
+        assert grouped == {}
+
+    def test_real_tree_is_span_disciplined(self):
+        from repro.analysis.engine import Project, run_rules
+        from repro.analysis.rules import select_rules
+
+        from .conftest import REPO_ROOT
+
+        findings, _ = run_rules(
+            Project(REPO_ROOT / "src" / "repro"),
+            select_rules(["OBS001"]),
         )
         assert findings == []
 

@@ -1,0 +1,155 @@
+"""Flight recorder: trigger dumps, CRC integrity, caps, postmortem CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    BUNDLE_SCHEMA,
+    TRIGGER_KINDS,
+    FlightRecorder,
+    MetricsRegistry,
+    load_bundle,
+    render_bundle,
+)
+from repro.obs.postmortem import main as postmortem_main
+
+
+def recorder(tmp_path, **kwargs):
+    return FlightRecorder(tmp_path / "bundles", **kwargs)
+
+
+class TestTriggers:
+    def test_trigger_kinds_cover_the_crash_taxonomy(self):
+        assert TRIGGER_KINDS == {"shard_crash", "breaker_open",
+                                 "checkpoint.corrupt", "slo.page"}
+
+    def test_trigger_event_dumps_a_bundle(self, tmp_path):
+        rec = recorder(tmp_path)
+        with rec.span("client.predict", domain="d"):
+            rec.record("predict", domain="d")
+        rec.record("shard_crash", shard="1", detail={"shard": 1})
+        assert len(rec.bundles) == 1
+        payload = load_bundle(rec.bundles[0])
+        assert payload["trigger"] == "shard_crash"
+        assert payload["schema"] == BUNDLE_SCHEMA
+        kinds = [e["kind"] for e in payload["events"]]
+        assert kinds == ["predict", "shard_crash"]
+        assert [s["name"] for s in payload["spans"]] == \
+            ["client.predict"]
+
+    def test_open_spans_captured_as_crash_context(self, tmp_path):
+        rec = recorder(tmp_path)
+        with rec.span("client.predict_batch", domain="d"):
+            with rec.span("kernel.dispatch", shard="1"):
+                rec.record("shard_crash", shard="1")
+        payload = load_bundle(rec.bundles[0])
+        assert [s["name"] for s in payload["open_spans"]] == \
+            ["client.predict_batch", "kernel.dispatch"]
+
+    def test_non_trigger_events_do_not_dump(self, tmp_path):
+        rec = recorder(tmp_path)
+        rec.record("predict")
+        rec.record("cache_miss")
+        assert rec.bundles == []
+
+    def test_max_bundles_cap_suppresses_storms(self, tmp_path):
+        rec = recorder(tmp_path, max_bundles=2)
+        for _ in range(5):
+            rec.record("shard_crash")
+        assert len(rec.bundles) == 2
+        assert rec.suppressed_dumps == 3
+
+    def test_manual_dump_and_metrics_snapshot(self, tmp_path):
+        rec = recorder(tmp_path)
+        metrics = MetricsRegistry()
+        metrics.counter("pss_shard_crashes_total").inc(3)
+        rec.attach_metrics(metrics)
+        path = rec.dump()
+        payload = load_bundle(path)
+        assert payload["trigger"] == "manual"
+        assert payload["metrics"]["counters"][0]["value"] == 3
+
+    def test_bundle_filenames_are_deterministic(self, tmp_path):
+        rec = recorder(tmp_path)
+        rec.record("shard_crash")
+        rec.record("slo.page")
+        names = [p.name for p in rec.bundles]
+        assert names == ["postmortem-001-shard-crash.json",
+                         "postmortem-002-slo-page.json"]
+
+
+class TestBundleIntegrity:
+    def test_corrupted_bundle_rejected(self, tmp_path):
+        rec = recorder(tmp_path)
+        rec.record("shard_crash", detail={"shard": 1})
+        path = rec.bundles[0]
+        wrapper = json.loads(path.read_text())
+        wrapper["bundle"]["trigger"] = "tampered"
+        path.write_text(json.dumps(wrapper))
+        with pytest.raises(ValueError, match="CRC mismatch"):
+            load_bundle(path)
+
+    def test_non_json_and_bad_envelope_rejected(self, tmp_path):
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{ not json")
+        with pytest.raises(ValueError, match="not a JSON bundle"):
+            load_bundle(garbled)
+        envelope = tmp_path / "envelope.json"
+        envelope.write_text(json.dumps({"events": []}))
+        with pytest.raises(ValueError, match="envelope"):
+            load_bundle(envelope)
+
+    def test_future_schema_rejected(self, tmp_path):
+        rec = recorder(tmp_path)
+        rec.record("shard_crash")
+        path = rec.bundles[0]
+        wrapper = json.loads(path.read_text())
+        wrapper["bundle"]["schema"] = BUNDLE_SCHEMA + 1
+        import zlib
+        canonical = json.dumps(wrapper["bundle"], sort_keys=True,
+                               separators=(",", ":"))
+        wrapper["crc32"] = zlib.crc32(canonical.encode("utf-8"))
+        path.write_text(json.dumps(wrapper))
+        with pytest.raises(ValueError, match="schema"):
+            load_bundle(path)
+
+
+class TestPostmortemCLI:
+    def test_renders_tree_and_critical_paths(self, tmp_path, capsys):
+        rec = recorder(tmp_path)
+        now = [0.0]
+        with rec.span("client.predict", domain="d",
+                      clock=lambda: now[0]):
+            now[0] = 4.19
+            with rec.span("kernel.predict", domain="d", shard="1"):
+                pass
+        rec.record("shard_crash", shard="1")
+        status = postmortem_main([str(rec.bundles[0])])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "trigger: shard_crash" in out
+        assert "client.predict" in out
+        assert "  kernel.predict" in out  # indented under its parent
+        assert "slowest critical paths" in out
+        assert "client.predict -> kernel.predict" in out
+
+    def test_usage_and_load_errors_exit_2(self, tmp_path, capsys):
+        assert postmortem_main([]) == 2
+        assert postmortem_main(["--help"]) == 2
+        assert postmortem_main([str(tmp_path / "missing.json")]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+
+    def test_render_bundle_reports_orphans_as_roots(self):
+        # a ring-evicted parent must not hide its surviving children
+        payload = {
+            "schema": BUNDLE_SCHEMA, "trigger": "manual", "seq": 1,
+            "events": [], "open_spans": [], "dropped_events": 0,
+            "dropped_spans": 1, "metrics": None,
+            "spans": [{"span_id": 7, "parent_id": 3, "name": "leaf",
+                       "start_ns": 0.0, "end_ns": 1.0,
+                       "status": "ok"}],
+        }
+        text = render_bundle(payload)
+        assert "leaf" in text

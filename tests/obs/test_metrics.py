@@ -94,6 +94,57 @@ class TestHistogramPercentiles:
         assert a.p50 < 10.0  # half the mass is at 4.19
         assert a.p99 > 60.0
 
+    def test_merge_empty_into_empty(self):
+        a, b = Histogram(), Histogram()
+        a.merge(b)
+        assert a.count == 0
+        assert a.percentile(0.5) == 0.0
+        snap = a.snapshot()
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_merge_empty_and_nonempty_both_orders(self):
+        empty, full = Histogram(), Histogram()
+        for value in (1.0, 4.19, 68.0):
+            full.observe(value)
+        before = full.snapshot()
+        full.merge(empty)  # nonempty <- empty: a no-op
+        assert full.snapshot() == before
+        empty.merge(full)  # empty <- nonempty: adopts everything
+        assert empty.snapshot() == before
+        assert empty.min == pytest.approx(1.0)
+        assert empty.max == pytest.approx(68.0)
+
+    def test_merge_rejects_foreign_bucket_schemes(self):
+        h = Histogram()
+        h.observe(4.19)
+
+        class FixedBucketHistogram:
+            count = 1
+            sum = 4.0
+            min = 4.0
+            max = 4.0
+            zero_count = 0
+            buckets = {0.5: 1}  # boundary-keyed, not exponent-keyed
+
+        with pytest.raises(TypeError, match="log-bucketed Histogram"):
+            h.merge(FixedBucketHistogram())
+        with pytest.raises(TypeError):
+            h.merge({"count": 1})
+        assert h.count == 1  # rejected merges leave the target intact
+
+    def test_merge_preserves_percentile_monotonicity(self):
+        a, b = Histogram(), Histogram()
+        rng = random.Random(7)
+        for _ in range(200):
+            a.observe(rng.uniform(0.0, 100.0))
+        for _ in range(50):
+            b.observe(rng.uniform(1000.0, 2000.0))
+        a.merge(b)
+        quantiles = [i / 20 for i in range(21)]
+        estimates = [a.percentile(q) for q in quantiles]
+        assert estimates == sorted(estimates)
+        assert a.count == 250
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
@@ -128,6 +179,13 @@ class TestRegistry:
         merged = reg.merged_histogram("lat", domain="d")
         assert merged.count == 2
         assert merged.max == pytest.approx(68.0)
+
+    def test_merged_histogram_with_no_matches_is_empty(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", domain="d").observe(4.0)
+        merged = reg.merged_histogram("lat", domain="missing")
+        assert merged.count == 0
+        assert merged.percentile(0.99) == 0.0
 
     def test_snapshot_is_json_serializable(self):
         import json

@@ -262,3 +262,51 @@ class TestCliGlue:
         from repro.obs import validate_chrome_trace
 
         validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_finish_writes_spans_jsonl(self, tmp_path):
+        import json
+
+        from repro.obs import Span
+
+        path = tmp_path / "trace.json"
+        session = obs_from_args(["--trace", str(path)])
+        service = PredictionService(tracer=session.tracer)
+        client = service.connect("d", config=PSSConfig(**CONFIG_KW))
+        client.predict(FEATURES)
+        summary = session.finish()
+        spans_path = tmp_path / "trace.json.spans.jsonl"
+        assert spans_path.exists()
+        assert "spans ->" in summary
+        parsed = [Span.from_dict(json.loads(line))
+                  for line in spans_path.read_text().splitlines()]
+        assert any(span.name == "client.predict" for span in parsed)
+
+    def test_slo_flag_enables_tracing_and_health_table(self):
+        session = obs_from_args(["--slo"])
+        assert session.slo
+        assert session.tracer.enabled  # implied, even without --trace
+        service = PredictionService(tracer=session.tracer)
+        client = service.connect("d", config=PSSConfig(**CONFIG_KW))
+        client.predict(FEATURES)
+        summary = session.finish()
+        assert "SLO health" in summary
+        assert "predict-latency" in summary
+        assert "verdict" in summary
+
+    def test_flight_recorder_flag_builds_recorder(self, tmp_path):
+        from repro.obs import FlightRecorder, load_bundle
+
+        session = obs_from_args(["--flight-recorder",
+                                 str(tmp_path / "fr"), "--metrics"])
+        assert isinstance(session.tracer, FlightRecorder)
+        session.tracer.record("shard_crash", shard="1")
+        summary = session.finish()
+        assert len(session.tracer.bundles) == 1
+        assert "post-mortem bundle" in summary
+        payload = load_bundle(session.tracer.bundles[0])
+        # --metrics attaches the registry to every bundle snapshot
+        assert payload["metrics"] is not None
+
+    def test_flight_recorder_requires_directory(self):
+        with pytest.raises(SystemExit):
+            obs_from_args(["--flight-recorder"])

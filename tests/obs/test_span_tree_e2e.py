@@ -1,0 +1,119 @@
+"""Acceptance: one batch through a crashed-shard service yields one
+well-formed span tree - admission, routing, per-shard dispatch,
+failover, and plan execution all causally under a single root."""
+
+from repro.core.config import PSSConfig
+from repro.core.kernel.admission import AdmissionController
+from repro.core.kernel.service import ShardedService
+from repro.core.policy import ClientIdentity
+from repro.obs import Tracer, span_children, validate_spans
+from repro.obs.postmortem import render_tree
+
+IDENTITY = ClientIdentity(uid=7, program="batcher")
+ROWS_PER_DOMAIN = 2
+NUM_DOMAINS = 8
+
+
+def crashed_shard_batch(num_shards=4):
+    """(tracer, scores, requests, victim shard, per-shard row counts)."""
+    tracer = Tracer()
+    service = ShardedService(tracer=tracer, num_shards=num_shards,
+                             admission=AdmissionController(),
+                             num_replicas=1)
+    domains = [f"d{i}" for i in range(NUM_DOMAINS)]
+    for name in domains:
+        service.create_domain(name, config=PSSConfig(num_features=2))
+    # warm the replicas so the crashed shard can serve follower reads
+    service.sync_replicas()
+    victim = service.shard_of(domains[0])
+    service.crash_shard(victim)
+    requests = []
+    for _ in range(ROWS_PER_DOMAIN):
+        for name in domains:
+            requests.append((name, (1, 2)))
+    rows_by_shard: dict[int, int] = {}
+    for name, _features in requests:
+        shard = service.shard_of(name)
+        rows_by_shard[shard] = rows_by_shard.get(shard, 0) + 1
+    tracer.clear()  # only the batch under test in the ring
+    scores = service.predict_batch(requests, identity=IDENTITY)
+    return tracer, scores, requests, victim, rows_by_shard
+
+
+class TestBatchSpanTree:
+    def test_single_root_tree_with_all_stages(self):
+        tracer, scores, requests, victim, rows_by_shard = \
+            crashed_shard_batch()
+        assert len(scores) == len(requests)
+        spans = tracer.spans()
+        roots = validate_spans(spans)  # raises on orphans/dups/open
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "kernel.predict_batch"
+        assert root.detail == {"rows": len(requests)}
+        children = span_children(spans)
+        stages = children[root.span_id]
+        assert stages[0].name == "kernel.admission"
+        assert stages[0].detail == {"count": len(requests)}
+        assert stages[1].name == "kernel.route"
+        dispatches = stages[2:]
+        assert all(s.name == "kernel.dispatch" for s in dispatches)
+        # one dispatch per shard that owns rows, in shard-id order,
+        # each annotated with the rows routed to it
+        assert [s.shard for s in dispatches] == \
+            [str(shard) for shard in sorted(rows_by_shard)]
+        assert {s.shard: s.detail["rows"] for s in dispatches} == \
+            {str(shard): rows for shard, rows in rows_by_shard.items()}
+
+    def test_crashed_shard_dispatch_holds_failovers(self):
+        tracer, _, _, victim, rows_by_shard = crashed_shard_batch()
+        spans = tracer.spans()
+        children = span_children(spans)
+        by_shard = {s.shard: s for s in spans
+                    if s.name == "kernel.dispatch"}
+        crashed_kids = [s.name for s in
+                        children[by_shard[str(victim)].span_id]]
+        # every row on the crashed shard is served by follower failover
+        assert crashed_kids == ["kernel.failover"] * rows_by_shard[victim]
+        for shard in rows_by_shard:
+            if shard == victim:
+                continue
+            kids = [s.name for s in
+                    children[by_shard[str(shard)].span_id]]
+            # live shards run one specialized plan pass per domain
+            assert kids and all(name == "plan.execute" for name in kids)
+
+    def test_routing_annotates_fanout(self):
+        tracer, _, requests, _, rows_by_shard = crashed_shard_batch()
+        route, = [s for s in tracer.spans() if s.name == "kernel.route"]
+        assert route.detail["rows"] == len(requests)
+        assert route.detail["shards"] == len(rows_by_shard)
+
+    def test_rendered_tree_shows_the_causal_story(self):
+        tracer, _, _, _, _ = crashed_shard_batch()
+        text = render_tree(tracer.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("kernel.predict_batch")
+        assert any(line.startswith("  kernel.admission")
+                   for line in lines)
+        assert any(line.startswith("    kernel.failover")
+                   for line in lines)
+        assert any(line.startswith("    plan.execute")
+                   for line in lines)
+
+    def test_untraced_batch_produces_identical_scores(self):
+        traced_scores = crashed_shard_batch()[1]
+        service = ShardedService(num_shards=4,
+                                 admission=AdmissionController(),
+                                 num_replicas=1)
+        for i in range(NUM_DOMAINS):
+            service.create_domain(f"d{i}",
+                                  config=PSSConfig(num_features=2))
+        service.sync_replicas()
+        service.crash_shard(service.shard_of("d0"))
+        requests = []
+        for _ in range(ROWS_PER_DOMAIN):
+            for i in range(NUM_DOMAINS):
+                requests.append((f"d{i}", (1, 2)))
+        assert service.predict_batch(requests,
+                                     identity=IDENTITY) == traced_scores
