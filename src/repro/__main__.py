@@ -25,6 +25,8 @@ EXPERIMENTS = {
              "Figure 6: stutterp page reclaim"),
     "latency": (experiments.latency.main,
                 "Prediction latency (vDSO vs syscall)"),
+    "serve": (experiments.serve.main,
+              "Event-driven serving sweep (10k-1M clients)"),
     "tenants": (experiments.tenants.main,
                 "Multi-tenant shard scaling (htm+jit+mm)"),
 }
@@ -47,9 +49,23 @@ def list_commands(out=None) -> None:
     print("utilities:", file=out)
     for name, title in UTILITIES.items():
         print(f"  {name:<11}{title}", file=out)
-    print("\nrun `python -m repro <command> --help` equivalents via the "
-          "flags below;\ncommon flags: --quick --report --trace PATH "
-          "--metrics", file=out)
+    print(
+        "\nshared flags (every experiment): --quick --seed N --report"
+        "\nshared observability flags (every experiment, one "
+        "implementation in repro.obs.obs_from_args):"
+        "\n  --trace PATH        Chrome-trace event timeline + JSONL "
+        "sibling"
+        "\n  --metrics           latency histograms/counters, printed "
+        "after the run"
+        "\n  --slo               SLO health table over the run's trace "
+        "(implies tracing)"
+        "\n  --flight-recorder DIR"
+        "\n                      post-mortem bundles on crash/chaos "
+        "triggers"
+        "\nsee `python -m repro --help` for per-command options "
+        "(serve also takes --out PATH)",
+        file=out,
+    )
 
 
 def cmd_models(_args: list[str]) -> int:
@@ -83,12 +99,22 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.postmortem import main as postmortem_main
 
         return postmortem_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        # Owns its own flags (--out) beyond the shared set - dispatch
+        # early like `check` so the experiment parser never rejects
+        # them.  The shared obs flags are consumed by obs_from_args
+        # inside the driver, same as every other experiment.
+        from repro.bench.experiments.serve import main as serve_main
+
+        return serve_main(arguments[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description=("Reproduction of 'A Prediction System Service' "
                      "(ASPLOS 2023)"),
-        epilog="run with no command to list the available experiments",
+        epilog=("commands: "
+                + ", ".join([*EXPERIMENTS, *UTILITIES])
+                + "; run with no command for one-line descriptions"),
     )
     parser.add_argument("command", nargs="?",
                         help="experiment or utility to run "

@@ -22,6 +22,7 @@ from repro.analysis.rules.determinism import (
     SeededRngOnlyRule,
 )
 from repro.analysis.rules.plans import ImmutablePlanRule
+from repro.analysis.rules.serving import BlockingKernelCallRule
 from repro.analysis.rules.spans import SpanDisciplineRule
 from repro.analysis.rules.tracing import (
     NoDeadTraceKindsRule,
@@ -37,6 +38,7 @@ RULE_CLASSES: tuple[Type[Rule], ...] = (
     NoSwallowedExceptionsRule,  # EXC001
     SpanDisciplineRule,         # OBS001
     ImmutablePlanRule,          # PLN001
+    BlockingKernelCallRule,     # QUE001
     ReplicaReadOnlyRule,        # REP001
     RegisteredTraceKindsRule,   # TRC001
     NoDeadTraceKindsRule,       # TRC002

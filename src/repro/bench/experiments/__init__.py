@@ -12,7 +12,9 @@ from repro.bench.experiments import (
     fig5,
     fig6,
     latency,
+    serve,
     tenants,
 )
 
-__all__ = ["fig2", "fig3", "fig4", "fig5", "fig6", "latency", "tenants"]
+__all__ = ["fig2", "fig3", "fig4", "fig5", "fig6", "latency", "serve",
+           "tenants"]

@@ -191,6 +191,10 @@ def shard_table(summaries) -> str:
 
     with_replicas = any("replica_lag" in s for s in summaries)
     with_plans = any("plans" in s for s in summaries)
+    # Serving columns only when a pipeline annotated the summaries
+    # (ServingPipeline.annotate_summaries), keeping synchronous-path
+    # reports byte-identical to earlier releases.
+    with_serving = any("serving" in s for s in summaries)
 
     rows = []
     for summary in summaries:
@@ -211,6 +215,18 @@ def shard_table(summaries) -> str:
             row.append(summary.get("failover_predictions", 0))
         if with_plans:
             row.append(summary.get("plans", "-"))
+        if with_serving:
+            serving = summary.get("serving")
+            if serving:
+                row.extend([
+                    serving["enqueued"],
+                    serving["shed"],
+                    serving["max_depth"],
+                    serving["batches"],
+                    serving["flush_timeouts"],
+                ])
+            else:
+                row.extend(["-"] * 5)
         if with_percentiles:
             row.extend(percentile_cells(summary))
         rows.append(row)
@@ -220,6 +236,9 @@ def shard_table(summaries) -> str:
         headers.extend(["lag", "failovers"])
     if with_plans:
         headers.append("plans")
+    if with_serving:
+        headers.extend(["queued", "shed", "max-q", "batches",
+                        "t-flush"])
     if with_percentiles:
         headers.extend(["vdso-p50", "vdso-p99", "sys-p50", "sys-p99"])
     table = format_table(headers, rows)
@@ -234,6 +253,39 @@ def shard_table(summaries) -> str:
             f"{cache['hits']} shared bindings, {cache['misses']} compiles"
         )
     return table
+
+
+def serving_table(rows) -> str:
+    """Offered-load sweep table for the ``serve`` experiment.
+
+    One row per (client population, shard count, batch window) point:
+    offered vs achieved throughput (requests per simulated us),
+    completion-sojourn p50/p99, mean micro-batch size, and the
+    back-pressure counters (sheds, SLO page evaluations).  ``rows`` is
+    the ``rows`` list of a BENCH_serving payload.
+    """
+    materialized = list(rows)
+    if not materialized:
+        return "<no serve measurements>"
+    table_rows = []
+    for entry in materialized:
+        table_rows.append([
+            entry["clients"],
+            entry["shards"],
+            f"{entry['batch_window_ns']:.0f}",
+            f"{entry['offered_per_us']:.2f}",
+            f"{entry['throughput_per_us']:.2f}",
+            f"{entry['p50_ns']:.0f}",
+            f"{entry['p99_ns']:.0f}",
+            f"{entry['mean_batch']:.1f}",
+            entry["shed"],
+            entry["page_evals"],
+        ])
+    return format_table(
+        ["clients", "shards", "window-ns", "offered/us", "served/us",
+         "p50-ns", "p99-ns", "batch", "shed", "pages"],
+        table_rows,
+    )
 
 
 def batch_table(batch_rows) -> str:

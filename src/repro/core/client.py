@@ -16,16 +16,25 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 from repro.core.config import LatencyModel, ResilienceConfig
-from repro.core.errors import QuotaExceededError, TransportFault
+from repro.core.errors import (
+    QuotaExceededError,
+    RequestShedError,
+    TransportFault,
+)
 from repro.core.faults import FaultInjector
 from repro.core.features import canonical_features
+from repro.core.serving.future import CompletionFuture
 from repro.core.service import DomainHandle
 from repro.core.stats import LatencyAccount, ResilienceStats
 from repro.core.transport import Transport, make_transport
 from repro.obs.trace import NULL_TRACER
+from repro.sim.process import SimEvent
+
+if TYPE_CHECKING:
+    from repro.core.serving.pipeline import ServingPipeline
 
 #: a static fallback: a fixed score, or a pure function of the features
 Fallback = Union[int, Callable[[Sequence[int]], int]]
@@ -44,6 +53,7 @@ class PSSClient:
         )
         self._tracer = NULL_TRACER
         self._obs_shard = getattr(handle, "shard_label", "")
+        self._pipeline: "ServingPipeline | None" = None
 
     # -- identity / introspection -------------------------------------------
 
@@ -166,6 +176,53 @@ class PSSClient:
 
     def _flush_impl(self) -> None:
         self._transport.flush()
+
+    # -- async serving (event-driven pipeline) -------------------------------
+
+    def attach_pipeline(self, pipeline: "ServingPipeline | None") -> None:
+        """Route :meth:`submit`/:meth:`submit_update` through an
+        event-driven :class:`~repro.core.serving.pipeline
+        .ServingPipeline` (or detach with ``None``).
+
+        The synchronous calls are untouched either way; only the
+        ``submit`` family changes behaviour.  Submitted requests bypass
+        this client's transport - queueing delay and the micro-batch
+        crossing cost are charged by the pipeline's own simulated
+        clock instead of the transport's latency account.
+        """
+        self._pipeline = pipeline
+
+    def submit(self, features: Sequence[int],
+               client_id: str = "") -> CompletionFuture:
+        """Issue a predict without blocking; returns its future.
+
+        With a pipeline attached the request queues on its domain's
+        serving shard and completes when the dispatcher's micro-batch
+        crosses the kernel.  Without one the call degrades to the
+        synchronous path and returns an already-completed future, so
+        callers can target one API in both deployments.
+        """
+        features = canonical_features(features)
+        if self._pipeline is None:
+            future = CompletionFuture()
+            future.complete(self.predict(features))
+            return future
+        return self._pipeline.submit(self.domain_name, features,
+                                     client_id=client_id)
+
+    def submit_update(self, features: Sequence[int], direction: bool,
+                      client_id: str = "") -> CompletionFuture:
+        """Issue an update without blocking; the future resolves to
+        ``None`` once the write has been applied in queue order."""
+        features = canonical_features(features)
+        if self._pipeline is None:
+            future = CompletionFuture()
+            self.update(features, direction)
+            future.complete(None)
+            return future
+        return self._pipeline.submit(self.domain_name, features,
+                                     op="update", direction=direction,
+                                     client_id=client_id)
 
     def close(self) -> None:
         """Flush buffered updates and release the connection."""
@@ -342,6 +399,100 @@ class ResilientClient(PSSClient):
     def fallback_score(self, features: Sequence[int]) -> int:
         fb = self._fallback
         return fb(features) if callable(fb) else fb
+
+    # -- async serving: degraded completion ----------------------------------
+
+    def submit(self, features: Sequence[int],
+               client_id: str = "") -> CompletionFuture:
+        """Issue a predict through the pipeline with the resilient
+        contract intact: the returned future *never* fails with a
+        transport-class error.
+
+        A shed (:class:`RequestShedError`), quota rejection, or kernel
+        fault on the batch completes the future with the static
+        fallback score instead - the async analogue of the synchronous
+        degraded path.  No retry: shedding is the service asking for
+        less load, so replaying the request would defeat it.
+        """
+        features = canonical_features(features)
+        pipeline = self._pipeline
+        if pipeline is None:
+            future = CompletionFuture()
+            future.complete(self.predict(features))
+            return future
+        self.stats.predictions += 1
+        outer = CompletionFuture(SimEvent(pipeline.engine),
+                                 submitted_ns=pipeline.engine.now)
+        inner = pipeline.submit(self.domain_name, features,
+                                client_id=client_id)
+
+        def settle(done: CompletionFuture) -> None:
+            error = done.error
+            if error is None:
+                outer.complete(done.result(), ts_ns=done.completed_ns)
+                return
+            if isinstance(error, RequestShedError):
+                self.stats.shed_requests += 1
+                reason = error.reason
+            elif isinstance(error, QuotaExceededError):
+                self.stats.quota_rejections += 1
+                reason = "quota"
+            elif isinstance(error, TransportFault):
+                self.stats.transport_failures += 1
+                reason = "transport_fault"
+            else:
+                outer.fail(error, ts_ns=done.completed_ns)
+                return
+            self._last_was_fallback = True
+            self.stats.fallback_predictions += 1
+            if self._tracer.enabled:
+                self._trace_client("fallback",
+                                   detail={"reason": reason})
+            outer.complete(self.fallback_score(features),
+                           ts_ns=done.completed_ns)
+
+        inner.add_done_callback(settle)
+        return outer
+
+    def submit_update(self, features: Sequence[int], direction: bool,
+                      client_id: str = "") -> CompletionFuture:
+        """Issue an update; failures drop the hint, never the caller.
+
+        The future always completes with ``None`` - a shed or faulted
+        update is counted in :attr:`stats` as dropped, exactly like the
+        synchronous degraded path drops hints while the breaker is
+        open.
+        """
+        features = canonical_features(features)
+        pipeline = self._pipeline
+        if pipeline is None:
+            future = CompletionFuture()
+            self.update(features, direction)
+            future.complete(None)
+            return future
+        outer = CompletionFuture(SimEvent(pipeline.engine),
+                                 submitted_ns=pipeline.engine.now)
+        inner = pipeline.submit(self.domain_name, features,
+                                op="update", direction=direction,
+                                client_id=client_id)
+
+        def settle(done: CompletionFuture) -> None:
+            error = done.error
+            if error is not None:
+                if isinstance(error, RequestShedError):
+                    self.stats.shed_requests += 1
+                elif isinstance(error, QuotaExceededError):
+                    self.stats.quota_rejections += 1
+                elif isinstance(error, TransportFault):
+                    self.stats.transport_failures += 1
+                else:
+                    outer.fail(error, ts_ns=done.completed_ns)
+                    return
+                self.stats.dropped_updates += 1
+            outer.complete(None, ts_ns=done.completed_ns)
+
+        inner.add_done_callback(settle)
+        return outer
 
     # -- the guarded calls (span wrappers inherited from PSSClient) ----------
 

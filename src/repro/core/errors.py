@@ -113,6 +113,33 @@ class ShardDownError(TransportFault):
         self.domain = domain
 
 
+class RequestShedError(TransportFault):
+    """Serve-mode back-pressure refused the request before dispatch.
+
+    Raised (through a :class:`~repro.core.serving.CompletionFuture`)
+    when the serving pipeline sheds a submitted request - either the
+    target shard's queue is at its depth limit (``reason``
+    ``"queue_full"``) or a paging SLO has the admission controller
+    enforcing :meth:`~repro.obs.slo.SLOEngine.should_shed` (``reason``
+    ``"slo_page"``).  Modeled as a :class:`TransportFault` (simulated
+    ``EAGAIN``) so the :class:`~repro.core.client.ResilientClient`
+    degraded ladder treats a shed exactly like any other transient
+    boundary refusal: the caller gets its static fallback and may
+    resubmit once the queue drains.
+    """
+
+    def __init__(self, reason: str = "queue_full", domain: str = "",
+                 shard_id: int = 0) -> None:
+        super().__init__(
+            "EAGAIN", 0,
+            f"request shed ({reason}) for shard {shard_id}"
+            + (f" (domain {domain!r})" if domain else ""),
+        )
+        self.reason = reason
+        self.domain = domain
+        self.shard_id = shard_id
+
+
 class ModelError(PSSError):
     """A predictor model violated the :class:`PredictorModel` contract."""
 

@@ -96,9 +96,14 @@ class AdmissionController:
         self._quotas: dict[ClientIdentity, TenantQuota] = dict(quotas or {})
         self._usage: dict[ClientIdentity, TenantUsage] = {}
         self._health_probe: HealthProbe | None = None
-        #: times the health probe advised shedding when consulted -
-        #: purely observational until the async frontend enforces it
+        #: times the health probe advised shedding when consulted
         self.shed_advisories = 0
+        #: serve mode: turn affirmative shed advice into refusals
+        #: (set by the serving pipeline; the synchronous path never
+        #: flips it, so direct calls keep their advisory-only history)
+        self.enforce_shedding = False
+        #: requests actually refused by :meth:`admit_request`
+        self.sheds_enforced = 0
 
     # -- configuration -----------------------------------------------------
 
@@ -107,13 +112,16 @@ class AdmissionController:
         self._quotas[identity] = quota
 
     def set_health_probe(self, probe: HealthProbe | None) -> None:
-        """Attach (or clear) an advisory :class:`HealthProbe`.
+        """Attach (or clear) a :class:`HealthProbe`.
 
-        Typically an :class:`~repro.obs.slo.SLOEngine` fed by the same
-        tracer the service records into.  The controller only *counts*
-        shed advice for now (:attr:`shed_advisories`); turning advice
-        into rejections is the async-frontend PR's job, so attaching a
-        probe cannot change any admission decision.
+        Typically an :class:`~repro.obs.slo.SLOEngine` (or the serving
+        pipeline's cached view of one) fed by the same tracer the
+        service records into.  On the synchronous path the probe stays
+        advisory - :meth:`health_advice` only counts affirmative advice
+        in :attr:`shed_advisories`.  In serve mode the pipeline flips
+        :attr:`enforce_shedding` and routes every submit through
+        :meth:`admit_request`, which turns that same advice into actual
+        refusals (counted in :attr:`sheds_enforced`).
         """
         self._health_probe = probe
 
@@ -122,9 +130,10 @@ class AdmissionController:
 
         Returns whether the probe advises shedding new load for this
         domain/shard, and counts affirmative advice in
-        :attr:`shed_advisories`.  Advisory only: callers remain free to
-        admit the request, and the controller itself never refuses on
-        health grounds.
+        :attr:`shed_advisories`.  Advisory at this layer: callers
+        remain free to admit the request - enforcement lives in
+        :meth:`admit_request`, which the serving pipeline routes every
+        submit through.
         """
         if self._health_probe is None:
             return False
@@ -133,6 +142,31 @@ class AdmissionController:
         if advice:
             self.shed_advisories += 1
         return advice
+
+    def admit_request(self, domain: str = "", shard: str = "",
+                      queue_depth: int = 0,
+                      queue_limit: int = 0) -> str | None:
+        """Serve-mode admission: a shed reason, or ``None`` to admit.
+
+        This is where queue back-pressure meets the controller: the
+        serving pipeline reports the target shard's queue depth with
+        every submit, and a queue at its configured limit is refused
+        with reason ``"queue_full"`` (a set limit is itself the opt-in,
+        so depth refusals do not wait on :attr:`enforce_shedding`).
+        Health-probe advice (a paging SLO) becomes reason
+        ``"slo_page"`` only when :attr:`enforce_shedding` is set -
+        without it the advice is counted but the request admitted,
+        exactly the advisory behaviour the synchronous path has always
+        had.  Every refusal increments :attr:`sheds_enforced`.
+        """
+        if queue_limit > 0 and queue_depth >= queue_limit:
+            self.sheds_enforced += 1
+            return "queue_full"
+        if self.health_advice(domain=domain, shard=shard) \
+                and self.enforce_shedding:
+            self.sheds_enforced += 1
+            return "slo_page"
+        return None
 
     def quota_for(self, identity: ClientIdentity) -> TenantQuota:
         return self._quotas.get(identity, self.default_quota)

@@ -1,0 +1,108 @@
+"""Completion futures: the result half of a split request path.
+
+The event-driven pipeline separates *issuing* a request from
+*completing* it: ``submit`` returns immediately with a
+:class:`CompletionFuture`, and a per-shard dispatcher completes it
+whenever the micro-batch carrying the request finishes crossing the
+kernel.  A future is backed by a :class:`~repro.sim.process.SimEvent`,
+so simulated client processes block on it with ``yield future.wait()``
+exactly like any other sim resource; plain (non-process) callers poll
+``done``/``result()`` after driving the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.process import SimEvent
+
+
+class CompletionFuture:
+    """One request's pending result.
+
+    Exactly one of :meth:`complete` / :meth:`fail` is called, exactly
+    once, by the pipeline; ``result()`` then returns the value or
+    re-raises the failure.  ``submitted_ns``/``completed_ns`` bracket
+    the request's queue sojourn plus service time on the simulated
+    clock.
+    """
+
+    __slots__ = ("done", "submitted_ns", "completed_ns", "_event",
+                 "_value", "_error", "_callbacks")
+
+    def __init__(self, event: SimEvent | None = None,
+                 submitted_ns: float = 0.0) -> None:
+        self.done = False
+        self.submitted_ns = submitted_ns
+        self.completed_ns = 0.0
+        self._event = event
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Callable[["CompletionFuture"], None]] = []
+
+    # -- completion (pipeline side) ----------------------------------------
+
+    def complete(self, value: Any, ts_ns: float = 0.0) -> None:
+        """Resolve successfully; wakes waiters and runs callbacks."""
+        self._settle(value, None, ts_ns)
+
+    def fail(self, error: BaseException, ts_ns: float = 0.0) -> None:
+        """Resolve with an error; ``result()`` will re-raise it."""
+        self._settle(None, error, ts_ns)
+
+    def _settle(self, value: Any, error: BaseException | None,
+                ts_ns: float) -> None:
+        if self.done:
+            raise RuntimeError("future already completed")
+        self.done = True
+        self._value = value
+        self._error = error
+        self.completed_ns = ts_ns
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._event is not None:
+            self._event.fire(self)
+
+    # -- consumption (client side) -----------------------------------------
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._error
+
+    def result(self) -> Any:
+        """The value, re-raising the failure for failed futures."""
+        if not self.done:
+            raise RuntimeError("future not yet completed; drive the "
+                               "engine (or yield future.wait()) first")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def latency_ns(self) -> float:
+        """Submit-to-completion sojourn on the simulated clock."""
+        if not self.done:
+            raise RuntimeError("future not yet completed")
+        return self.completed_ns - self.submitted_ns
+
+    def wait(self) -> object:
+        """Command for sim-process bodies: ``yield future.wait()``.
+
+        Already-completed futures (a shed refused at submit time, a
+        batch that crossed before the caller got around to waiting)
+        return a zero-delay sleep so the process resumes on the next
+        engine step instead of parking on an event that already fired.
+        """
+        if self.done or self._event is None:
+            return 0
+        return self._event.wait()
+
+    def add_done_callback(
+        self, callback: Callable[["CompletionFuture"], None]
+    ) -> None:
+        """Run ``callback(self)`` at completion (immediately if done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)

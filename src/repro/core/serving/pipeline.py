@@ -1,0 +1,365 @@
+"""The event-driven serving pipeline: issue/complete split end to end.
+
+:class:`ServingPipeline` is the refactored request path.  Where the
+blocking stack ran ``client -> transport -> kernel`` inside one call
+frame, the pipeline splits every request into an *issue* half
+(:meth:`submit`, which admission-checks, enqueues on the owning
+shard's :class:`~repro.core.serving.queue.RequestQueue`, and returns a
+:class:`~repro.core.serving.future.CompletionFuture`) and a
+*completion* half (the shard's
+:class:`~repro.core.serving.dispatch.Dispatcher` sim process drains
+micro-batches on the deterministic :class:`~repro.sim.engine.Engine`
+and completes the futures).  The synchronous API is untouched - the
+pipeline is a frontend over the same kernel, and a 1-client,
+batch-window-0 serve run is bit-identical to the scalar path
+(hypothesis-pinned in ``tests/serving/test_identity.py``).
+
+Back-pressure is real here, not advisory: every submit routes through
+:meth:`~repro.core.kernel.admission.AdmissionController.admit_request`
+with the target queue's depth, so a full queue refuses with
+``queue_full``; and when :attr:`ServingConfig.shed_on_page` is set the
+pipeline attaches *itself* as the controller's health probe (a cached
+view of the :class:`~repro.obs.slo.SLOEngine` verdicts, refreshed by a
+monitor process every ``slo_eval_interval_ns``) and flips
+``enforce_shedding``, promoting ``SLOEngine.should_shed`` from advice
+to actual ``slo_page`` refusals.  Shed requests fail fast with
+:class:`~repro.core.errors.RequestShedError` - the resilient client
+maps that to its static fallback like any transient fault.
+
+See docs/SERVING.md for the pipeline diagram and tuning guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.config import LatencyModel
+from repro.core.errors import ConfigError, RequestShedError
+from repro.core.serving.batcher import MicroBatcher
+from repro.core.serving.dispatch import Dispatcher
+from repro.core.serving.future import CompletionFuture
+from repro.core.serving.queue import Request, RequestQueue
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    SERVE_LATENCY_NS,
+)
+from repro.obs.slo import SLO, SLOEngine
+from repro.obs.trace import NULL_TRACER, TracerLike
+from repro.sim.engine import Engine
+from repro.sim.process import ProcessBody, SimEvent, spawn
+
+if TYPE_CHECKING:
+    from repro.core.kernel.service import ShardedService
+
+#: the SLO name the pipeline feeds completion sojourns into
+SERVE_SLO = "serve-latency"
+
+
+def serving_slos(threshold_ns: float = 4_000.0,
+                 objective: float = 0.9) -> tuple[SLO, ...]:
+    """The serve-mode SLO set: completion sojourn under overload.
+
+    The threshold is queue time, not model time: ~55 scalar crossings
+    (or a handful of full micro-batches) of waiting before a completion
+    counts against the budget.  Windows are sized to the serve sweep's
+    simulated horizon so a sustained overload pages within a few
+    evaluation intervals.
+    """
+    return (
+        SLO(SERVE_SLO, "latency", objective=objective,
+            threshold_ns=threshold_ns,
+            short_window_ns=5_000.0, long_window_ns=20_000.0),
+    )
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs for one pipeline instance.
+
+    ``batch_window_ns == 0`` is the scalar-equivalent mode (no
+    batching, bit-identical results); ``queue_limit == 0`` means
+    unbounded queues (no depth back-pressure); ``shed_on_page`` is the
+    serve-mode promotion of SLO shed advice into refusals.
+    """
+
+    max_batch: int = 32
+    batch_window_ns: float = 0.0
+    queue_limit: int = 0
+    shed_on_page: bool = False
+    slo_threshold_ns: float = 4_000.0
+    slo_objective: float = 0.9
+    slo_eval_interval_ns: float = 2_000.0
+    latency: LatencyModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 0:
+            raise ConfigError(
+                f"queue_limit must be >= 0, got {self.queue_limit}")
+        if self.slo_eval_interval_ns <= 0:
+            raise ConfigError(
+                "slo_eval_interval_ns must be positive, got "
+                f"{self.slo_eval_interval_ns}")
+
+
+class ServingPipeline:
+    """Queues, batchers, and dispatchers over one sharded service."""
+
+    def __init__(self, service: "ShardedService",
+                 config: ServingConfig | None = None,
+                 engine: Engine | None = None,
+                 tracer: TracerLike | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 slos: Sequence[SLO] | None = None) -> None:
+        self.service = service
+        self.config = config or ServingConfig()
+        self.engine = engine or Engine()
+        self.tracer = (tracer if tracer is not None
+                       else service.tracer) or NULL_TRACER
+        self.metrics = (metrics if metrics is not None
+                        else service.metrics)
+        if self.tracer.enabled:
+            # Serve mode owns the session clock: every event recorded
+            # during the run (kernel spans included) is stamped with
+            # the engine's simulated now.
+            self.tracer.clock = lambda: self.engine.now
+        # -- per-shard machinery --
+        self.queues = [
+            RequestQueue(shard_id, self.engine, tracer=self.tracer,
+                         metrics=self.metrics)
+            for shard_id in range(service.num_shards)
+        ]
+        self.batchers = [
+            MicroBatcher(self.config.max_batch,
+                         self.config.batch_window_ns,
+                         latency=self.config.latency)
+            for _ in range(service.num_shards)
+        ]
+        self.dispatchers = [
+            Dispatcher(self, shard_id, queue, batcher, service,
+                       self.engine, tracer=self.tracer,
+                       metrics=self.metrics)
+            for shard_id, (queue, batcher)
+            in enumerate(zip(self.queues, self.batchers))
+        ]
+        for dispatcher in self.dispatchers:
+            dispatcher.start()
+        # -- health / back-pressure --
+        self.slo_engine = (SLOEngine(slos, tracer=self.tracer)
+                           if slos is not None else None)
+        self._paging_scopes: frozenset[str] = frozenset()
+        self._load_complete = False
+        if service.admission is not None:
+            service.admission.set_health_probe(self)
+            if self.config.shed_on_page:
+                service.admission.enforce_shedding = True
+        if self.slo_engine is not None:
+            spawn(self.engine, self._monitor(), name="slo-monitor")
+        # -- counters --
+        self.seq = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed_count = 0
+        self.in_flight = 0
+        self.evals = 0
+        self.page_evals = 0
+        self.page_excursions = 0
+        #: submit-to-completion sojourns (always on: the BENCH rows
+        #: need percentiles even without a metrics registry)
+        self.latency = Histogram()
+
+    # -- issue half ---------------------------------------------------------
+
+    def submit(self, domain: str, features: Sequence[int],
+               op: str = "predict", direction: bool = False,
+               client_id: str = "") -> CompletionFuture:
+        """Issue one request; returns its future immediately.
+
+        Shed requests (queue full, paging SLO under enforcement) come
+        back already failed with :class:`RequestShedError` - the
+        caller never blocks, and a sim process that ``yield``s the
+        future's ``wait()`` resumes on the next engine step.
+        """
+        if op not in ("predict", "update"):
+            raise ConfigError(f"unknown serving op {op!r}")
+        engine = self.engine
+        shard_id = self.service.shard_of(domain)
+        queue = self.queues[shard_id]
+        self.seq += 1
+        future = CompletionFuture(SimEvent(engine),
+                                 submitted_ns=engine.now)
+        request = Request(op=op, domain=domain, features=features,
+                          future=future, direction=direction,
+                          client_id=client_id, seq=self.seq)
+        self.submitted += 1
+        reason = self._admission_reason(domain, shard_id, queue)
+        if reason is not None:
+            self.shed_count += 1
+            queue.record_shed(request, reason)
+            future.fail(RequestShedError(reason, domain, shard_id),
+                        ts_ns=engine.now)
+            return future
+        queue.push(request)
+        self.in_flight += 1
+        return future
+
+    def _admission_reason(self, domain: str, shard_id: int,
+                          queue: RequestQueue) -> str | None:
+        """Consult the admission controller (or replicate its depth
+        rule when the service runs without one)."""
+        admission = self.service.admission
+        limit = self.config.queue_limit
+        if admission is not None:
+            return admission.admit_request(
+                domain=domain, shard=str(shard_id),
+                queue_depth=queue.depth, queue_limit=limit)
+        if limit > 0 and queue.depth >= limit:
+            return "queue_full"
+        if self.config.shed_on_page \
+                and self.should_shed(domain=domain,
+                                     shard=str(shard_id)):
+            return "slo_page"
+        return None
+
+    # -- health probe (AdmissionController protocol) ------------------------
+
+    def should_shed(self, domain: str = "", shard: str = "") -> bool:
+        """Cached SLO verdict: is a paging scope covering this target?
+
+        The admission controller consults this on every submit, so it
+        must be O(1): the monitor process refreshes the paging-scope
+        set every evaluation interval instead of re-running
+        ``SLOEngine.evaluate`` per request.
+        """
+        scopes = self._paging_scopes
+        if not scopes:
+            return False
+        if "*" in scopes:
+            return True
+        if shard and f"shard:{shard}" in scopes:
+            return True
+        return bool(domain) and domain in scopes
+
+    def _monitor(self) -> ProcessBody:
+        """Sim process: periodic SLO evaluation into the paging cache.
+
+        Exits once the load generator finished and the pipeline
+        drained, so a completed simulation's event queue empties and
+        ``engine.run()`` terminates naturally.
+        """
+        interval = self.config.slo_eval_interval_ns
+        engine = self.slo_engine
+        assert engine is not None
+        while True:
+            yield interval
+            self.evals += 1
+            verdicts = engine.evaluate()
+            paging = frozenset(v.scope for v in verdicts
+                               if v.verdict == "page")
+            if paging:
+                self.page_evals += 1
+                if not self._paging_scopes:
+                    self.page_excursions += 1
+            self._paging_scopes = paging
+            if self._load_complete and self.in_flight == 0:
+                return
+
+    # -- completion half (dispatcher callbacks) ------------------------------
+
+    def request_done(self, request: Request, value: Any) -> None:
+        """Complete one served request (dispatcher only)."""
+        now = self.engine.now
+        self.completed += 1
+        self.in_flight -= 1
+        sojourn = now - request.future.submitted_ns
+        self.latency.observe(sojourn)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                SERVE_LATENCY_NS,
+                shard=str(self.service.shard_of(request.domain)),
+            ).observe(sojourn)
+        if self.slo_engine is not None:
+            self.slo_engine.observe(
+                SERVE_SLO, now,
+                good=sojourn <= self.config.slo_threshold_ns)
+        request.future.complete(value, ts_ns=now)
+
+    def request_failed(self, request: Request,
+                       error: BaseException) -> None:
+        """Fail one request with the kernel's error (dispatcher only)."""
+        self.failed += 1
+        self.in_flight -= 1
+        request.future.fail(error, ts_ns=self.engine.now)
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> None:
+        """Drive the engine (to ``until``, or until it drains)."""
+        self.engine.run(until=until)
+
+    def mark_load_complete(self) -> None:
+        """Load generators call this after their last submit, letting
+        the monitor process wind down once the queues drain."""
+        self._load_complete = True
+
+    # -- reporting -----------------------------------------------------------
+
+    def batch_stats(self) -> dict[str, float]:
+        """Batcher counters summed across shards."""
+        return {
+            "batches": sum(b.batches for b in self.batchers),
+            "rows": sum(b.rows for b in self.batchers),
+            "flush_timeouts": sum(b.flush_timeouts
+                                  for b in self.batchers),
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """Stable-keyed counters + percentiles for reports/BENCH json."""
+        admission = self.service.admission
+        batches = self.batch_stats()
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed_count,
+            "in_flight": self.in_flight,
+            "batches": batches["batches"],
+            "flush_timeouts": batches["flush_timeouts"],
+            "mean_batch": (batches["rows"] / batches["batches"]
+                           if batches["batches"] else 0.0),
+            "latency": self.latency.snapshot(),
+            "queues": [queue.snapshot() for queue in self.queues],
+            "slo": {
+                "evals": self.evals,
+                "page_evals": self.page_evals,
+                "page_excursions": self.page_excursions,
+            },
+            "admission": {
+                "advisories": (admission.shed_advisories
+                               if admission is not None else 0),
+                "sheds_enforced": (admission.sheds_enforced
+                                   if admission is not None else 0),
+            },
+        }
+
+    def annotate_summaries(
+        self, summaries: list[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Thread queue/batch/shed visibility into
+        ``shard_summaries()`` rows (rendered by ``shard_table``)."""
+        for summary in summaries:
+            shard_id = summary.get("shard")
+            if isinstance(shard_id, int) \
+                    and shard_id < len(self.queues):
+                queue = self.queues[shard_id]
+                batcher = self.batchers[shard_id]
+                summary["serving"] = {
+                    "enqueued": queue.enqueued,
+                    "shed": queue.shed,
+                    "max_depth": queue.max_depth,
+                    "batches": batcher.batches,
+                    "flush_timeouts": batcher.flush_timeouts,
+                }
+        return summaries

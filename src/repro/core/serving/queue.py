@@ -1,0 +1,135 @@
+"""Per-shard request queues: the issue half of a split request path.
+
+Every serving shard owns one :class:`RequestQueue`.  ``submit`` (on the
+pipeline) appends a :class:`Request` here and returns; the shard's
+dispatcher drains it in micro-batches on its own simulated schedule.
+The queue is deliberately mechanical - FIFO order, a depth counter,
+and a ``nonempty`` :class:`~repro.sim.process.SimEvent` the dispatcher
+parks on - with every admission decision kept upstream in the pipeline
+and the :class:`~repro.core.kernel.admission.AdmissionController`.
+
+Observability: each accepted request records a ``queue.enqueue`` event
+and observes the post-enqueue depth into the ``pss_queue_depth``
+histogram; each refusal records ``queue.shed`` with its reason and
+counts into ``pss_shed_total``.  Both are this module's single emit
+sites for those kinds (TRC002).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.serving.future import CompletionFuture
+from repro.obs.metrics import (
+    MetricsRegistry,
+    QUEUE_DEPTH,
+    SHED_TOTAL,
+)
+from repro.obs.trace import NULL_TRACER, TracerLike
+from repro.sim.engine import Engine
+from repro.sim.process import SimEvent
+
+
+@dataclass
+class Request:
+    """One queued operation awaiting dispatch.
+
+    ``op`` is ``"predict"`` or ``"update"``; ``direction`` is only
+    meaningful for updates.  ``client_id`` is attribution-only (load
+    generators label which simulated client issued the request), never
+    consulted by routing or dispatch.
+    """
+
+    op: str
+    domain: str
+    features: Sequence[int]
+    future: CompletionFuture
+    direction: bool = False
+    client_id: str = ""
+    enqueue_ns: float = 0.0
+    #: submission order, stamped by the pipeline - the deterministic
+    #: tie-break audit trail for same-timestamp requests
+    seq: int = field(default=0, compare=False)
+
+
+class RequestQueue:
+    """FIFO of :class:`Request` for one serving shard."""
+
+    def __init__(self, shard_id: int, engine: Engine,
+                 tracer: TracerLike = NULL_TRACER,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.shard_id = shard_id
+        self.engine = engine
+        self.tracer = tracer
+        self.metrics = metrics
+        #: fired on every enqueue; the dispatcher parks here when idle
+        self.nonempty = SimEvent(engine)
+        self._items: deque[Request] = deque()
+        # -- counters (stable keys for snapshots/tables) --
+        self.enqueued = 0
+        self.shed = 0
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def push(self, request: Request) -> None:
+        """Append an admitted request and wake the dispatcher."""
+        request.enqueue_ns = self.engine.now
+        self._items.append(request)
+        self.enqueued += 1
+        depth = len(self._items)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        if self.tracer.enabled:
+            self.tracer.record(
+                "queue.enqueue", domain=request.domain,
+                transport="serving", ts_ns=request.enqueue_ns,
+                shard=str(self.shard_id),
+                detail={"op": request.op, "depth": depth},
+            )
+        if self.metrics is not None:
+            self.metrics.histogram(
+                QUEUE_DEPTH, shard=str(self.shard_id)
+            ).observe(float(depth))
+        self.nonempty.fire()
+
+    def record_shed(self, request: Request, reason: str) -> None:
+        """Account one refused request (the pipeline already failed
+        its future); the queue owns the trace/metric emission so every
+        shed lands on the target shard's track."""
+        self.shed += 1
+        if self.tracer.enabled:
+            self.tracer.record(
+                "queue.shed", domain=request.domain,
+                transport="serving", ts_ns=self.engine.now,
+                shard=str(self.shard_id),
+                detail={"op": request.op, "reason": reason,
+                        "depth": len(self._items)},
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                SHED_TOTAL, shard=str(self.shard_id), reason=reason
+            ).inc()
+
+    def drain(self, limit: int) -> list[Request]:
+        """Pop up to ``limit`` requests in FIFO order."""
+        items = self._items
+        take = min(limit, len(items))
+        return [items.popleft() for _ in range(take)]
+
+    def snapshot(self) -> dict[str, int]:
+        """Stable-keyed counters for reports and BENCH json."""
+        return {
+            "shard": self.shard_id,
+            "enqueued": self.enqueued,
+            "shed": self.shed,
+            "max_depth": self.max_depth,
+            "depth": len(self._items),
+        }

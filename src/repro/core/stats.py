@@ -298,6 +298,10 @@ class ResilienceStats:
     #: operations the admission layer refused (quota exhausted); served
     #: degraded immediately - quota errors are never retried
     quota_rejections: int = 0
+    #: async submits refused by serve-mode back-pressure (queue full or
+    #: a paging SLO under enforcement); served by the static fallback
+    #: without retry - shedding exists precisely to avoid more load
+    shed_requests: int = 0
 
     @property
     def degraded_fraction(self) -> float:

@@ -26,6 +26,15 @@ FAILOVER_PREDICTIONS_TOTAL = "pss_failover_predictions_total"
 REPLICA_LAG_GENERATIONS = "pss_replica_lag_generations"
 MIGRATED_SLOTS_TOTAL = "pss_migrated_slots_total"
 
+#: serving-pipeline instruments (:mod:`repro.core.serving`): queue
+#: depth observed at every enqueue, rows per dispatched micro-batch,
+#: submit-to-completion sojourn time, and requests refused by
+#: back-pressure - all labeled ``{shard}`` (``shed`` also ``{reason}``).
+QUEUE_DEPTH = "pss_queue_depth"
+BATCH_SIZE = "pss_batch_size"
+SERVE_LATENCY_NS = "pss_serve_latency_ns"
+SHED_TOTAL = "pss_shed_total"
+
 
 class Counter:
     """Monotonically increasing count."""

@@ -54,6 +54,10 @@ EVENT_KINDS = frozenset({
     "plan.compile",       # the plan compiler specialized a new shape
     "plan.hit",           # an existing specialized plan was shared
     "slo.page",           # an SLO's error budget is burning page-fast
+    "queue.enqueue",      # a request entered a serving shard queue
+    "queue.shed",         # admission refused a request (back-pressure)
+    "batch.dispatch",     # a dispatcher drained a micro-batch
+    "batch.flush_timeout",  # a partial batch flushed on window expiry
 })
 
 

@@ -1,0 +1,26 @@
+"""Sim processes that enter the kernel directly (both flagged)."""
+
+
+class GreedyWorker:
+    def __init__(self, service, queue):
+        self.service = service
+        self.queue = queue
+
+    def run(self):
+        """A generator body that scores its batch in-line."""
+        while True:
+            yield self.queue.nonempty.wait()
+            batch = self.queue.drain(8)
+            # QUE001: blocking kernel entry inside the event loop.
+            scores = self.service.predict_batch(
+                [(request.domain, request.features) for request in batch]
+            )
+            del scores
+
+
+def trainer_process(kernel_service, records):
+    """A module-level generator writing to the kernel in-line."""
+    for domain, features, direction in records:
+        yield 10.0
+        # QUE001: kernel write from a sim process.
+        kernel_service.update(domain, features, direction)

@@ -1,0 +1,20 @@
+"""The sanctioned kernel-entry site (path-exempt, clean)."""
+
+
+class Dispatcher:
+    def __init__(self, service, queue):
+        self.service = service
+        self.queue = queue
+
+    def run(self):
+        while True:
+            yield self.queue.nonempty.wait()
+            batch = self.queue.drain(32)
+            yield 68.0 + 4.19 * len(batch)
+            # Exempt: this file is the dispatcher implementation.
+            self.service.predict_batch(
+                [(request.domain, request.features) for request in batch]
+            )
+            for request in batch:
+                self.service.update(request.domain, request.features,
+                                    request.direction)

@@ -1,0 +1,35 @@
+"""Sim processes and helpers that stay inside the contract (clean)."""
+
+
+class SubmittingClient:
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        self.seen = {}
+
+    def run(self):
+        """A closed-loop client: submit, wait on the future."""
+        for index in range(10):
+            future = self.pipeline.submit("dom", [index, index + 1])
+            yield future.wait()
+            # A dict update inside a generator is not a kernel call.
+            self.seen.update({index: future.result()})
+
+
+def warm_cache(service, rows):
+    """Kernel batch entry from a *plain* function is fine - only sim
+    processes (generator bodies) are in scope."""
+    return service.predict_batch(rows)
+
+
+class DeferredScorer:
+    def __init__(self, service):
+        self.service = service
+
+    def run(self):
+        """A generator whose nested helper is invoked by a non-process
+        caller later; the nested def's body is out of scope."""
+        def score_later(rows):
+            return self.service.predict_batch(rows)
+
+        yield 5.0
+        return score_later

@@ -29,8 +29,8 @@ class TestRegistry:
 
     def test_expected_rules_present(self):
         assert set(rules_by_id()) == {
-            "API001", "CTR001", "DET001", "DET002",
-            "EXC001", "OBS001", "PLN001", "REP001", "TRC001", "TRC002",
+            "API001", "CTR001", "DET001", "DET002", "EXC001",
+            "OBS001", "PLN001", "QUE001", "REP001", "TRC001", "TRC002",
         }
 
     def test_all_rules_returns_fresh_instances(self):
@@ -201,6 +201,39 @@ class TestObs001:
         findings, _ = run_rules(
             Project(REPO_ROOT / "src" / "repro"),
             select_rules(["OBS001"]),
+        )
+        assert findings == []
+
+
+class TestQue001:
+    def test_kernel_calls_in_sim_processes_flagged(self, check_fixture):
+        findings, _ = check_fixture("que001", ["QUE001"])
+        grouped = by_file(findings)
+        bad = grouped.pop("bad_process.py")
+        messages = sorted(f.message for f in bad)
+        # GreedyWorker.run's in-line predict_batch and
+        # trainer_process's kernel update.
+        assert len(bad) == 2
+        assert any("GreedyWorker" not in m and "run" in m
+                   and "predict_batch" in m for m in messages)
+        assert any("trainer_process" in m and "update" in m
+                   for m in messages)
+        assert all(f.rule_id == "QUE001" and f.severity == "error"
+                   for f in bad)
+        # good_process.py (submit/wait, dict .update, plain-function
+        # kernel entry, nested-def helper) and the path-exempt
+        # core/serving/dispatch.py produce nothing.
+        assert grouped == {}
+
+    def test_real_tree_has_single_kernel_entry_site(self):
+        from repro.analysis.engine import Project, run_rules
+        from repro.analysis.rules import select_rules
+
+        from .conftest import REPO_ROOT
+
+        findings, _ = run_rules(
+            Project(REPO_ROOT / "src" / "repro"),
+            select_rules(["QUE001"]),
         )
         assert findings == []
 

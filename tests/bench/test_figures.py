@@ -81,5 +81,5 @@ class TestCli:
 
         assert set(EXPERIMENTS) == {
             "fig2", "fig3", "fig4", "fig5", "fig6", "latency",
-            "tenants",
+            "tenants", "serve",
         }

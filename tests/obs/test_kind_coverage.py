@@ -17,7 +17,10 @@ from repro.core import (
     PSSConfig,
     ResilienceConfig,
 )
+from repro.core.kernel.admission import AdmissionController
+from repro.core.kernel.service import ShardedService
 from repro.core.persistence import CheckpointManager
+from repro.core.serving import ServingConfig, ServingPipeline
 from repro.obs import EVENT_KINDS, SLO, SLOEngine, Tracer
 
 FEATURES = [3, 5]
@@ -92,6 +95,25 @@ def _chaos_scenario(seen):
     seen.update(e.kind for e in tracer.events())
 
 
+def _serving_scenario(seen):
+    """enqueue / shed / dispatch / flush-timeout on one tiny pipeline."""
+    tracer = Tracer()
+    service = ShardedService(tracer=tracer,
+                             admission=AdmissionController())
+    service.create_domain("d")
+    # window > 0 with a partial batch forces the timeout flush; the
+    # 2-deep queue makes the burst's tail shed at admission.
+    pipeline = ServingPipeline(
+        service,
+        config=ServingConfig(batch_window_ns=200.0, queue_limit=2),
+    )
+    for _ in range(5):
+        pipeline.submit("d", FEATURES)
+    pipeline.mark_load_complete()
+    pipeline.run()
+    seen.update(e.kind for e in tracer.events())
+
+
 def _slo_scenario(seen):
     tracer = Tracer()
     engine = SLOEngine(
@@ -110,6 +132,7 @@ def test_every_registered_kind_is_emitted(tmp_path):
     _resilience_scenario(seen)
     _checkpoint_scenario(seen, tmp_path)
     _chaos_scenario(seen)
+    _serving_scenario(seen)
     _slo_scenario(seen)
     missing = sorted(EVENT_KINDS - seen)
     assert not missing, (

@@ -1,0 +1,51 @@
+"""Back-pressure is load-bearing, not advisory, in serve mode.
+
+At the overloaded point (1M clients on one shard) the bounded-queue +
+shed-on-page pipeline must actually refuse work (shed > 0), and the
+refusals must buy something: the throttled run's SLO page rate stays
+below the unthrottled run's, and admitted requests complete inside the
+latency SLO the unbounded queue blows through.
+"""
+
+from repro.bench.experiments.serve import (
+    QUEUE_LIMIT,
+    SLO_THRESHOLD_NS,
+    run_backpressure_comparison,
+    run_point,
+)
+
+
+class TestShedding:
+    def test_overload_sheds_and_pages_less_than_unthrottled(self):
+        comparison, summaries = run_backpressure_comparison(
+            seed=0, quick=True)
+        throttled = comparison["throttled"]
+        unthrottled = comparison["unthrottled"]
+        assert throttled["shed"] > 0
+        assert unthrottled["shed"] == 0
+        assert throttled["page_rate"] < unthrottled["page_rate"]
+        assert comparison["backpressure_effective"] is True
+        # Bounded queues cap sojourn; the unbounded run does not.
+        assert throttled["p99_ns"] <= SLO_THRESHOLD_NS
+        assert unthrottled["p99_ns"] > SLO_THRESHOLD_NS
+        # The shard_table view carries the shed/queue visibility.
+        serving = [s["serving"] for s in summaries if "serving" in s]
+        assert sum(s["shed"] for s in serving) == throttled["shed"]
+        assert all(s["max_depth"] <= QUEUE_LIMIT for s in serving)
+
+    def test_light_load_never_sheds(self):
+        row, pipeline = run_point(10_000, 1, 0.0, seed=0,
+                                  requests=500)
+        assert row["shed"] == 0
+        assert row["completed"] == row["submitted"]
+        assert row["page_evals"] == 0
+        assert pipeline.service.admission.sheds_enforced == 0
+
+    def test_slo_page_sheds_are_enforced_not_advisory(self):
+        """At top load the controller's enforced-shed counter moves:
+        the pipeline promoted ``should_shed`` into real refusals."""
+        _, pipeline = run_point(1_000_000, 1, 0.0, seed=0,
+                                requests=800)
+        admission = pipeline.service.admission
+        assert admission.sheds_enforced > 0
+        assert pipeline.shed_count == admission.sheds_enforced

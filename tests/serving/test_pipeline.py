@@ -1,0 +1,256 @@
+"""Unit coverage for the event-driven serving pipeline.
+
+The issue/complete split end to end: futures, queue back-pressure,
+micro-batch triggers, the client ``submit`` family (sync degrade and
+resilient fallback), and the queue/batch/shed visibility surfaces.
+"""
+
+import pytest
+
+from repro.core import (
+    PredictionService,
+    PSSConfig,
+    ResilienceConfig,
+)
+from repro.core.errors import ConfigError, RequestShedError
+from repro.core.kernel.admission import AdmissionController
+from repro.core.kernel.service import ShardedService
+from repro.core.serving import (
+    CompletionFuture,
+    ServingConfig,
+    ServingPipeline,
+)
+
+FEATURES = [3, 5]
+
+
+def build(num_shards=1, admission=None, **config_kw):
+    service = ShardedService(num_shards=num_shards,
+                            admission=admission)
+    service.create_domain("d")
+    pipeline = ServingPipeline(service,
+                               ServingConfig(**config_kw))
+    return service, pipeline
+
+
+class TestCompletionFuture:
+    def test_completes_once_and_reports_latency(self):
+        future = CompletionFuture(submitted_ns=10.0)
+        assert not future.done
+        future.complete(7, ts_ns=25.0)
+        assert future.done
+        assert future.result() == 7
+        assert future.latency_ns == 15.0
+        with pytest.raises(RuntimeError):
+            future.complete(8)
+
+    def test_failed_future_reraises(self):
+        future = CompletionFuture()
+        future.fail(RequestShedError("queue_full", "d", 0))
+        assert future.done
+        assert isinstance(future.error, RequestShedError)
+        with pytest.raises(RequestShedError):
+            future.result()
+
+    def test_done_callback_fires_immediately_when_settled(self):
+        future = CompletionFuture()
+        future.complete(1)
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == [future]
+
+
+class TestPipelineFlow:
+    def test_submit_completes_with_kernel_results(self):
+        service, pipeline = build()
+        reference = ShardedService()
+        reference.create_domain("d")
+
+        first = pipeline.submit("d", FEATURES)
+        write = pipeline.submit("d", FEATURES, op="update",
+                                direction=True)
+        second = pipeline.submit("d", FEATURES)
+        assert not first.done  # nothing runs until the engine does
+        pipeline.run()
+
+        expected_first = reference.predict("d", FEATURES)
+        reference.update("d", FEATURES, True)
+        expected_second = reference.predict("d", FEATURES)
+        assert first.result() == expected_first
+        assert write.result() is None
+        assert second.result() == expected_second
+        assert service.domain("d").stats == \
+            reference.domain("d").stats
+        snap = pipeline.snapshot()
+        assert snap["submitted"] == 3
+        assert snap["completed"] == 3
+        assert snap["in_flight"] == 0
+        assert snap["failed"] == snap["shed"] == 0
+
+    def test_completion_charges_simulated_time(self):
+        _, pipeline = build()
+        future = pipeline.submit("d", FEATURES)
+        pipeline.run()
+        # One scalar crossing: syscall_ns + 1 row of vdso_predict_ns.
+        assert future.latency_ns == pytest.approx(72.19)
+        assert pipeline.engine.now > 0
+
+    def test_unknown_op_rejected(self):
+        _, pipeline = build()
+        with pytest.raises(ConfigError):
+            pipeline.submit("d", FEATURES, op="train")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServingConfig(queue_limit=-1)
+        with pytest.raises(ConfigError):
+            ServingConfig(slo_eval_interval_ns=0.0)
+
+
+class TestBatchingTriggers:
+    def test_window_zero_dispatches_scalar_batches(self):
+        _, pipeline = build(batch_window_ns=0.0)
+        for _ in range(5):
+            pipeline.submit("d", FEATURES)
+        pipeline.run()
+        stats = pipeline.batch_stats()
+        assert stats["batches"] == 5
+        assert stats["rows"] == 5
+        assert stats["flush_timeouts"] == 0
+
+    def test_size_trigger_fills_batches_under_wide_window(self):
+        _, pipeline = build(max_batch=4, batch_window_ns=1e6)
+        for _ in range(8):
+            pipeline.submit("d", FEATURES)
+        pipeline.run()
+        stats = pipeline.batch_stats()
+        assert stats["batches"] == 2
+        assert stats["rows"] == 8
+        assert stats["flush_timeouts"] == 0
+
+    def test_timeout_trigger_flushes_partial_batch(self):
+        _, pipeline = build(max_batch=32, batch_window_ns=200.0)
+        pipeline.submit("d", FEATURES)
+        pipeline.submit("d", FEATURES)
+        pipeline.run()
+        stats = pipeline.batch_stats()
+        assert stats["batches"] == 1
+        assert stats["rows"] == 2
+        assert stats["flush_timeouts"] == 1
+
+    def test_batched_run_matches_scalar_results(self):
+        rows = [[i % 4, (i * 3) % 4] for i in range(12)]
+        outcomes = []
+        for window in (0.0, 500.0):
+            _, pipeline = build(max_batch=8, batch_window_ns=window)
+            futures = [pipeline.submit("d", row) for row in rows]
+            pipeline.run()
+            outcomes.append([f.result() for f in futures])
+        assert outcomes[0] == outcomes[1]
+
+
+class TestBackPressure:
+    def test_full_queue_sheds_at_admission(self):
+        admission = AdmissionController()
+        service, pipeline = build(admission=admission, queue_limit=2)
+        futures = [pipeline.submit("d", FEATURES) for _ in range(5)]
+        shed = [f for f in futures if f.done]
+        assert len(shed) == 3  # refused synchronously at submit
+        for future in shed:
+            assert isinstance(future.error, RequestShedError)
+            assert future.error.reason == "queue_full"
+        assert admission.sheds_enforced == 3
+        pipeline.run()
+        snap = pipeline.snapshot()
+        assert snap["completed"] == 2
+        assert snap["shed"] == 3
+        assert snap["queues"][0]["shed"] == 3
+
+    def test_depth_rule_holds_without_admission_controller(self):
+        _, pipeline = build(queue_limit=1)
+        first = pipeline.submit("d", FEATURES)
+        second = pipeline.submit("d", FEATURES)
+        assert not first.done
+        assert second.error is not None
+        assert second.error.reason == "queue_full"
+
+    def test_unbounded_queue_never_sheds(self):
+        _, pipeline = build(queue_limit=0)
+        for _ in range(64):
+            pipeline.submit("d", FEATURES)
+        pipeline.run()
+        assert pipeline.shed_count == 0
+        assert pipeline.completed == 64
+
+
+class TestVisibility:
+    def test_snapshot_and_summaries_carry_serving_state(self):
+        admission = AdmissionController()
+        service, pipeline = build(admission=admission, queue_limit=2)
+        for _ in range(5):
+            pipeline.submit("d", FEATURES)
+        pipeline.run()
+        summaries = pipeline.annotate_summaries(
+            service.shard_summaries())
+        serving = next(s["serving"] for s in summaries
+                       if "serving" in s)
+        assert serving["enqueued"] == 2
+        assert serving["shed"] == 3
+        assert serving["batches"] == 2
+        from repro.bench.tables import shard_table
+        rendered = shard_table(summaries)
+        assert "shed" in rendered and "max-q" in rendered
+
+    def test_shard_table_without_serving_block_unchanged(self):
+        service = ShardedService()
+        service.create_domain("d")
+        from repro.bench.tables import shard_table
+        assert "max-q" not in shard_table(service.shard_summaries())
+
+
+class TestClientSubmit:
+    def test_submit_degrades_to_sync_without_pipeline(self):
+        service = PredictionService()
+        client = service.connect("d",
+                                 config=PSSConfig(num_features=2))
+        future = client.submit(FEATURES)
+        assert future.done
+        assert future.result() == client.predict(FEATURES)
+        update = client.submit_update(FEATURES, True)
+        assert update.done and update.result() is None
+        client.flush()  # sync updates ride the transport's batch
+        assert service.domain("d").generation == 1
+
+    def test_submit_routes_through_attached_pipeline(self):
+        service = PredictionService()
+        client = service.connect("d",
+                                 config=PSSConfig(num_features=2))
+        pipeline = ServingPipeline(service)
+        client.attach_pipeline(pipeline)
+        future = client.submit(FEATURES)
+        assert not future.done
+        pipeline.run()
+        assert future.done
+        client.attach_pipeline(None)
+        assert client.submit(FEATURES).done  # detached: sync again
+
+    def test_resilient_submit_falls_back_on_shed(self):
+        service = PredictionService(admission=AdmissionController())
+        client = service.connect(
+            "d", config=PSSConfig(num_features=2),
+            resilience=ResilienceConfig(), fallback=-7,
+        )
+        pipeline = ServingPipeline(
+            service, ServingConfig(queue_limit=2))
+        client.attach_pipeline(pipeline)
+        predicts = [client.submit(FEATURES) for _ in range(4)]
+        update = client.submit_update(FEATURES, True)
+        pipeline.run()
+        # 2 admitted, served by the kernel; the rest degraded.
+        scores = [f.result() for f in predicts]
+        assert scores.count(-7) == 2
+        assert update.result() is None
+        assert client.stats.shed_requests == 3
+        assert client.stats.fallback_predictions == 2
+        assert client.stats.dropped_updates == 1
+        assert all(f.error is None for f in predicts)
