@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import ast
 import re
+from dataclasses import replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
@@ -82,11 +83,13 @@ class FileContext:
         return False
 
     def finding(self, rule_id: str, line: int, message: str,
-                severity: str = "error") -> Finding:
+                severity: str = "error", hint: str = "",
+                pragma_lines: tuple = ()) -> Finding:
         return Finding(
             rule_id=rule_id, path=self.relpath, line=line,
             message=message, severity=severity,
             source_line=self.source_line(line),
+            hint=hint, pragma_lines=pragma_lines,
         )
 
 
@@ -114,6 +117,11 @@ class Project:
                 ))
                 continue
             self.contexts.append(context)
+        # Built once: rules doing cross-file lookups resolve one call
+        # edge per context_for() call, so the old linear scan was
+        # O(files * edges).
+        self._by_module_path = {context.module_path: context
+                                for context in self.contexts}
 
     def _select_files(self,
                       files: Iterable[Path] | None) -> list[Path]:
@@ -126,38 +134,52 @@ class Project:
 
     def context_for(self, module_path: str) -> FileContext | None:
         """The context whose package-relative path is ``module_path``."""
-        for context in self.contexts:
-            if context.module_path == module_path:
-                return context
-        return None
+        return self._by_module_path.get(module_path)
 
 
-def run_rules(project: Project,
-              rules: Iterable["Rule"]) -> tuple[list[Finding], int]:
+def run_rules(project: Project, rules: Iterable["Rule"],
+              scope: set[str] | None = None,
+              ) -> tuple[list[Finding], int]:
     """Drive every rule over the project.
 
     Returns ``(findings, suppressed)`` where ``findings`` is sorted by
     location and ``suppressed`` counts pragma-silenced violations.
     Parse failures surface as ``ENG000`` findings: an unparseable file
     must fail the gate, not silently escape every rule.
+
+    ``scope`` (root-relative posix paths, ``--changed``) restricts the
+    per-file *findings* to the named files; ``check_file`` still visits
+    every context — rules like TRC002 accumulate cross-file state
+    there — and every rule's cross-file ``finish`` pass still runs
+    over the whole tree, so interprocedural findings can land in
+    unchanged files.
     """
-    raw: list[Finding] = list(project.parse_errors)
+    raw: list[tuple[Finding, "Rule | None"]] = [
+        (finding, None) for finding in project.parse_errors
+    ]
     rule_list = list(rules)
     for context in project.contexts:
+        in_scope = scope is None or context.relpath in scope
         for rule in rule_list:
-            raw.extend(rule.check_file(context))
+            raw.extend((finding, rule)
+                       for finding in rule.check_file(context)
+                       if in_scope)
     for rule in rule_list:
-        raw.extend(rule.finish(project))
+        raw.extend((finding, rule) for finding in rule.finish(project))
 
     findings: list[Finding] = []
     suppressed = 0
     by_path = {context.relpath: context for context in project.contexts}
-    for finding in raw:
+    for finding, rule in raw:
         context = by_path.get(finding.path)
-        if context is not None and context.allowed(finding.rule_id,
-                                                   finding.line):
-            suppressed += 1
-            continue
+        if context is not None:
+            lines = (finding.line, *finding.pragma_lines)
+            if any(context.allowed(finding.rule_id, line)
+                   for line in lines):
+                suppressed += 1
+                continue
+        if rule is not None and rule.hint and not finding.hint:
+            finding = replace(finding, hint=rule.hint)
         findings.append(finding)
     findings.sort(key=Finding.sort_key)
     return findings, suppressed

@@ -29,6 +29,15 @@ class Finding:
     #: stripped text of the offending source line (fingerprint input and
     #: reviewer context in JSON reports)
     source_line: str = field(default="", compare=False)
+    #: fix-it hint naming the owning component; presentation only -
+    #: excluded from identity and fingerprint so baselines stay stable
+    #: when hint wording improves
+    hint: str = field(default="", compare=False)
+    #: extra 1-based lines (same file) where a pragma also suppresses
+    #: this finding - e.g. the flagged function's ``def`` line and its
+    #: decorator lines for an interprocedural finding anchored at a
+    #: call site inside it
+    pragma_lines: tuple = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -53,10 +62,15 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
             "source_line": self.source_line,
+            "hint": self.hint,
             "fingerprint": self.fingerprint(),
         }
 
     def render(self) -> str:
-        """One-line ``path:line: RULE severity message`` report form."""
-        return (f"{self.path}:{self.line}: {self.rule_id} "
+        """``path:line: RULE severity message`` report form, with the
+        fix-it hint indented underneath when the rule ships one."""
+        text = (f"{self.path}:{self.line}: {self.rule_id} "
                 f"{self.severity}: {self.message}")
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

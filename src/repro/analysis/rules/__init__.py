@@ -10,6 +10,11 @@ from __future__ import annotations
 
 from typing import Iterable, Type
 
+from repro.analysis.concurrency import (
+    CheckThenActRule,
+    DoubleSettleRule,
+    SharedWriteRule,
+)
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.contracts import (
     FacadeParityRule,
@@ -39,6 +44,9 @@ RULE_CLASSES: tuple[Type[Rule], ...] = (
     SpanDisciplineRule,         # OBS001
     ImmutablePlanRule,          # PLN001
     BlockingKernelCallRule,     # QUE001
+    SharedWriteRule,            # RAC001
+    CheckThenActRule,           # RAC002
+    DoubleSettleRule,           # RAC003
     ReplicaReadOnlyRule,        # REP001
     RegisteredTraceKindsRule,   # TRC001
     NoDeadTraceKindsRule,       # TRC002

@@ -22,6 +22,10 @@ class Rule:
     rule_id = "RUL000"
     description = ""
     severity = "error"
+    #: fix-it hint naming the owning component; the engine stamps it
+    #: onto every finding the rule yields (rules may also pass a more
+    #: specific hint per finding via ``ctx.finding(..., hint=...)``)
+    hint = ""
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         return iter(())

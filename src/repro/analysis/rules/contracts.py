@@ -86,6 +86,9 @@ class FacadeParityRule(Rule):
     rule_id = "API001"
     description = ("PredictionService facade and ShardedService kernel "
                    "public signatures stay in sync")
+    hint = ("match the ShardedService kernel's parameter names, order, "
+            "and defaults in the PredictionService facade override "
+            "(keyword-only tightening is the one sanctioned drift)")
 
     def finish(self, project: Project) -> Iterator[Finding]:
         classes = _find_classes(project)
@@ -130,6 +133,9 @@ class TransportCloseRule(Rule):
     rule_id = "CTR001"
     description = ("every stateful Transport subclass overrides "
                    "close() and chains super().__init__")
+    hint = ("chain super().__init__ in the subclass constructor and "
+            "override close() with a super().close() chain that "
+            "releases the state the subclass added")
 
     BASE_SUFFIX = "Transport"
 
@@ -191,6 +197,9 @@ class NoSwallowedExceptionsRule(Rule):
     rule_id = "EXC001"
     description = ("no bare except / `except Exception: pass` outside "
                    "best-effort checkpoint recovery")
+    hint = ("catch the narrowest exception that can actually occur "
+            "and handle, count (stats/tracer), or re-raise it - the "
+            "resilience stack exists to report faults, not eat them")
 
     #: modules whose recovery paths may swallow broad exceptions
     ALLOWED_MODULES = frozenset({
@@ -255,6 +264,9 @@ class ReplicaReadOnlyRule(Rule):
     rule_id = "REP001"
     description = ("replica/follower classes never call update()/"
                    "train() on domain or model state")
+    hint = ("route learning through the primary ShardedService and "
+            "let replication ship the snapshot; a follower only "
+            "load_state()s what its primary produced")
 
     #: class-name fragments that mark a replica-side type
     CLASS_MARKERS = ("Replica", "Follower")

@@ -50,6 +50,9 @@ class NoWallClockRule(Rule):
     description = ("no wall-clock reads (time.time/monotonic/"
                    "perf_counter, argless datetime.now) outside the "
                    "allowlist")
+    hint = ("take time from the sim engine clock (simulated "
+            "nanoseconds, LatencyAccount) instead of the wall clock; "
+            "only bench/experiments/latency.py measures real time")
 
     #: package-relative modules sanctioned to read the wall clock
     ALLOWED_MODULES = frozenset({"bench/experiments/latency.py"})
@@ -106,6 +109,9 @@ class SeededRngOnlyRule(Rule):
     rule_id = "DET002"
     description = ("no direct `random` module use outside sim/rng.py "
                    "and core/faults.py (take a seeded Rng instead)")
+    hint = ("draw from a named seeded stream (sim.rng.RngStreams) "
+            "injected by the caller so no component can perturb "
+            "another component's sequence")
 
     #: the modules that wrap ``random`` behind seeded streams
     ALLOWED_MODULES = frozenset({"sim/rng.py", "core/faults.py"})

@@ -59,6 +59,9 @@ class ImmutablePlanRule(Rule):
     rule_id = "PLN001"
     description = ("SpecializedPlan classes never assign to self "
                    "outside __init__ (shared plans are read-only)")
+    hint = ("keep per-call state out of the shared plan: move the "
+            "mutation to the caller (PlanCache or the owning shard) "
+            "or compute it into a local - plans are pure shape")
 
     #: class-name fragment that marks a specialized-plan type
     CLASS_MARKERS = ("SpecializedPlan",)

@@ -15,26 +15,40 @@ on a kernel-shaped receiver (``service``/``kernel``/``shard``/``svc``
 in the dotted chain - plain ``dict.update``/``set.update`` calls stay
 out of scope), is flagged.  ``core/serving/dispatch.py`` is the single
 sanctioned site.
+
+The ``finish`` pass makes the rule interprocedural: a kernel entry
+reached *through a helper* from a non-dispatcher process - the
+generator calls a plain function that calls ``predict_batch`` - is the
+same smuggled blocking call wearing one stack frame of disguise, and
+the callgraph layer (``repro.analysis.callgraph``) catches it.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.engine import FileContext
 from repro.analysis.findings import Finding
 from repro.analysis.rules.base import Rule, dotted_name
 
+if TYPE_CHECKING:
+    from repro.analysis.engine import Project
+
 
 class BlockingKernelCallRule(Rule):
     """QUE001: kernel ``predict_batch``/``update`` calls inside a sim
-    process body are reserved for the serving dispatcher."""
+    process body - or reachable from one through helpers - are
+    reserved for the serving dispatcher."""
 
     rule_id = "QUE001"
     description = ("sim processes submit, they never enter the kernel: "
-                   "predict_batch/update inside a generator body is "
-                   "reserved for core/serving/dispatch.py")
+                   "predict_batch/update inside (or reachable from) a "
+                   "generator body is reserved for "
+                   "core/serving/dispatch.py")
+    hint = ("submit the work through ServingPipeline.submit() and wait "
+            "on the returned CompletionFuture; only the Dispatcher in "
+            "core/serving/dispatch.py enters the kernel")
 
     #: the single sanctioned kernel-entry site
     ALLOWED_MODULES = ("core/serving/dispatch.py",)
@@ -83,6 +97,70 @@ class BlockingKernelCallRule(Rule):
                         f"submit op='update' to the serving pipeline "
                         f"instead",
                     )
+
+    def finish(self, project: "Project") -> Iterator[Finding]:
+        """Interprocedural pass: kernel entry reached through helpers.
+
+        For every discovered process whose entry is *not* in the
+        dispatcher module, walk its bounded call graph; a
+        ``predict_batch``/kernel-``update`` call in any reached plain
+        function is flagged at the call site.  Generator bodies are
+        the syntactic pass's job (no double reporting), and helpers
+        living in the allowlisted dispatcher module are the sanctioned
+        entry itself.
+        """
+        from repro.analysis.callgraph import ProgramIndex
+        from repro.analysis.concurrency import ProcessModel
+
+        index = ProgramIndex.for_project(project)
+        model = ProcessModel.for_project(project)
+
+        # (relpath, line) -> (fn, site, entry labels, example path)
+        flagged: dict[tuple, tuple] = {}
+        for entry in model.sorted_entries():
+            entry_module = entry.fn.module.module_path
+            if any(entry_module.endswith(allowed)
+                   for allowed in self.ALLOWED_MODULES):
+                continue
+            reach = model.full_reach(entry)
+            for qname in sorted(reach):
+                fn = reach[qname].fn
+                if fn.is_generator:
+                    continue
+                if any(fn.module.module_path.endswith(allowed)
+                       for allowed in self.ALLOWED_MODULES):
+                    continue
+                for site in fn.calls:
+                    receiver = ".".join(site.chain) if site.chain \
+                        else ""
+                    if site.name == "predict_batch":
+                        pass
+                    elif site.name == "update" \
+                            and self._kernelish(receiver):
+                        pass
+                    else:
+                        continue
+                    key = (fn.module.context.relpath, site.line)
+                    if key not in flagged:
+                        path = " -> ".join(
+                            index.call_path(reach, qname))
+                        flagged[key] = (fn, site, [], path)
+                    if entry.label not in flagged[key][2]:
+                        flagged[key][2].append(entry.label)
+
+        for key in sorted(flagged):
+            fn, site, labels, path = flagged[key]
+            receiver = ".".join(site.chain) if site.chain else "<expr>"
+            yield fn.module.context.finding(
+                self.rule_id, site.line,
+                f"helper {fn.qname!r} calls "
+                f"{receiver}.{site.name}() and is reachable from "
+                f"sim process(es) {', '.join(labels)} ({path}): a "
+                f"kernel entry one stack frame removed from the "
+                f"event loop is still a blocking call inside an "
+                f"engine step",
+                pragma_lines=(fn.node.lineno, *fn.decorator_lines),
+            )
 
     @classmethod
     def _kernelish(cls, receiver: str) -> bool:

@@ -41,6 +41,9 @@ class SpanDisciplineRule(Rule):
     rule_id = "OBS001"
     description = ("spans are context-managed: no begin_span/end_span "
                    "outside the tracer, no un-with'ed span(...) calls")
+    hint = ("open the span in a with-statement (or return it from a "
+            "*span* forwarding helper a with consumes); only "
+            "obs/trace.py owns the raw begin_span/end_span lifecycle")
 
     #: modules allowed to use the raw begin/end API (the implementation)
     ALLOWED_MODULES = ("obs/trace.py",)

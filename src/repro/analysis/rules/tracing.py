@@ -90,6 +90,9 @@ class RegisteredTraceKindsRule(Rule):
     rule_id = "TRC001"
     description = ("every kind= passed to trace emission appears in "
                    "obs.trace.EVENT_KINDS")
+    hint = ("register the kind in obs.trace.EVENT_KINDS (the schema "
+            "the exporters and the Chrome-trace validator treat as "
+            "exhaustive) or reuse a registered one")
 
     def __init__(self) -> None:
         #: (kind, context, line) per literal emission, for TRC001
@@ -132,6 +135,9 @@ class NoDeadTraceKindsRule(Rule):
     rule_id = "TRC002"
     description = ("every kind registered in obs.trace.EVENT_KINDS has "
                    "at least one emission site")
+    hint = ("emit the kind somewhere (Tracer.record or a _trace "
+            "wrapper) or drop it from obs.trace.EVENT_KINDS so the "
+            "schema stops over-promising")
 
     def __init__(self) -> None:
         self._forward = RegisteredTraceKindsRule()

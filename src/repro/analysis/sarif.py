@@ -1,0 +1,171 @@
+"""SARIF 2.1.0 export of checker findings (``--format sarif``).
+
+SARIF is the interchange format CI systems ingest to annotate PR
+diffs, so the invariants job can surface a RAC002 straight onto the
+offending line of the review.  The exporter emits the minimal valid
+subset: one run, the tool's rule table, one result per finding with a
+physical location and the checker's line-content fingerprint under
+``partialFingerprints`` (the same CRC the baseline uses, so an
+annotation survives line drift exactly as long as the baseline entry
+would).
+
+:func:`validate_sarif` is a dependency-free structural validator for
+the subset we emit - the container can't ``pip install jsonschema``,
+and CI only needs to prove the artifact is well-formed 2.1.0, not to
+host the full schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.analysis.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: checker severity -> SARIF result level
+_LEVELS = {"error": "error", "warning": "warning"}
+
+#: the partialFingerprints key (versioned: bump if the CRC recipe
+#: in Finding.fingerprint ever changes)
+FINGERPRINT_KEY = "reproAnalysis/v1"
+
+
+def sarif_report(findings: Iterable[Finding], rules: Iterable[Any],
+                 root: str) -> dict[str, Any]:
+    """One SARIF 2.1.0 log for a finished analysis run.
+
+    ``rules`` are the rule *instances* the run selected (each carries
+    ``rule_id``/``description``/``severity``/``hint``); every selected
+    rule lands in the driver table even with zero results, so diff
+    annotators can render "checked by" metadata.
+    """
+    rule_list = sorted(
+        {rule.rule_id: rule for rule in rules}.values(),
+        key=lambda rule: rule.rule_id,
+    )
+    rule_index = {rule.rule_id: index
+                  for index, rule in enumerate(rule_list)}
+
+    descriptors = []
+    for rule in rule_list:
+        descriptor: dict[str, Any] = {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(rule.severity, "error"),
+            },
+        }
+        if getattr(rule, "hint", ""):
+            descriptor["help"] = {"text": rule.hint}
+        descriptors.append(descriptor)
+
+    results = []
+    for finding in findings:
+        message = finding.message
+        if finding.hint:
+            message += f" (hint: {finding.hint})"
+        result: dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "PROJECTROOT",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+            }],
+            "partialFingerprints": {
+                FINGERPRINT_KEY: f"{finding.fingerprint():08x}",
+            },
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-check",
+                    "informationUri":
+                        "docs/INVARIANTS.md",
+                    "rules": descriptors,
+                },
+            },
+            "originalUriBaseIds": {
+                "PROJECTROOT": {"uri": root},
+            },
+            "results": results,
+        }],
+    }
+
+
+def validate_sarif(payload: Any) -> None:
+    """Raise ``ValueError`` unless ``payload`` is structurally valid
+    SARIF 2.1.0 (for the subset a static analyzer emits)."""
+
+    def need(cond: bool, what: str) -> None:
+        if not cond:
+            raise ValueError(f"invalid SARIF: {what}")
+
+    need(isinstance(payload, dict), "top level must be an object")
+    need(payload.get("version") == SARIF_VERSION,
+         f"version must be {SARIF_VERSION!r}")
+    runs = payload.get("runs")
+    need(isinstance(runs, list) and runs, "runs must be a non-empty list")
+    for number, run in enumerate(runs):
+        where = f"runs[{number}]"
+        need(isinstance(run, dict), f"{where} must be an object")
+        driver = run.get("tool", {}).get("driver")
+        need(isinstance(driver, dict), f"{where}.tool.driver required")
+        need(isinstance(driver.get("name"), str) and driver["name"],
+             f"{where}: driver.name must be a non-empty string")
+        rule_ids = set()
+        for descriptor in driver.get("rules", []):
+            need(isinstance(descriptor, dict)
+                 and isinstance(descriptor.get("id"), str),
+                 f"{where}: every rule descriptor needs a string id")
+            rule_ids.add(descriptor["id"])
+        results = run.get("results", [])
+        need(isinstance(results, list), f"{where}.results must be a list")
+        for index, result in enumerate(results):
+            spot = f"{where}.results[{index}]"
+            need(isinstance(result, dict), f"{spot} must be an object")
+            need(isinstance(result.get("ruleId"), str),
+                 f"{spot}.ruleId must be a string")
+            need(result.get("level") in ("none", "note", "warning",
+                                         "error"),
+                 f"{spot}.level must be a SARIF level")
+            text = result.get("message", {}).get("text")
+            need(isinstance(text, str) and text,
+                 f"{spot}.message.text must be a non-empty string")
+            if rule_ids:
+                need(result["ruleId"] in rule_ids,
+                     f"{spot}.ruleId {result['ruleId']!r} missing "
+                     f"from the driver rule table")
+            for location in result.get("locations", []):
+                physical = location.get("physicalLocation", {})
+                artifact = physical.get("artifactLocation", {})
+                need(isinstance(artifact.get("uri"), str),
+                     f"{spot}: artifactLocation.uri must be a string")
+                region = physical.get("region", {})
+                start = region.get("startLine")
+                need(isinstance(start, int) and start >= 1,
+                     f"{spot}: region.startLine must be a positive int")
+
+
+__all__ = [
+    "FINGERPRINT_KEY",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "sarif_report",
+    "validate_sarif",
+]

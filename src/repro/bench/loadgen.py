@@ -124,7 +124,11 @@ class LoadGenerator:
         else:
             future = pipeline.submit(domain, features,
                                      client_id=client_id)
-        self.issued += 1
+        # Deliberate sharing (docs/INVARIANTS.md, RAC001): every load
+        # process funnels through this one increment, which has no
+        # yield between read and write, so the count - an order-free
+        # sum - is schedule-independent by construction.
+        self.issued += 1  # repro: allow RAC001
         future.add_done_callback(self._on_done)
         return future
 
@@ -190,7 +194,11 @@ class LoadGenerator:
                                       rng.random(), f"c{index}")
             yield future.wait()
             yield rng.expovariate(1.0 / think_mean)
-        self._closed_remaining -= 1
+        # Deliberate sharing (docs/INVARIANTS.md, RAC001): the
+        # synchronous writer (start_closed_loop) finishes before the
+        # engine runs a single step, so the phases never overlap; the
+        # per-client decrements are yield-free order-free sums.
+        self._closed_remaining -= 1  # repro: allow RAC001
         if self._closed_remaining == 0:
             pipeline.mark_load_complete()
 

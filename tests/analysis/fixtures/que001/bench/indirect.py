@@ -1,0 +1,22 @@
+"""A process reaching the kernel through a helper (interproc QUE001)."""
+
+
+def score_helper(service, rows):
+    """Plain function, so the syntactic pass ignores it - but it is
+    one call away from a sim process's event-loop step."""
+    # QUE001 (interprocedural): kernel entry reachable from _run.
+    return service.predict_batch(rows)
+
+
+class IndirectWorker:
+    def __init__(self, engine, service):
+        self.engine = engine
+        self.service = service
+
+    def start(self):
+        return spawn(self.engine, self._run(), name="indirect")
+
+    def _run(self):
+        while True:
+            yield 10
+            score_helper(self.service, [("dom", (1, 2))])

@@ -1,0 +1,94 @@
+"""Two sim processes (and one sync path) sharing unowned state."""
+
+
+class SharedStats:
+    def __init__(self):
+        self.served = 0
+        self.dropped = 0
+
+
+class PredictWorker:
+    def __init__(self, engine, stats: "SharedStats"):
+        self.engine = engine
+        self.stats = stats
+        self.local_count = 0
+
+    def start(self):
+        return spawn(self.engine, self._run(), name="predict")
+
+    def _run(self):
+        while True:
+            yield 10
+            # RAC001: UpdateWorker._run writes the same attribute.
+            self.stats.served += 1
+            # Private per-process state: single writer, clean.
+            self.local_count += 1
+
+
+class UpdateWorker:
+    def __init__(self, engine, stats: "SharedStats"):
+        self.engine = engine
+        self.stats = stats
+
+    def start(self):
+        return spawn(self.engine, self._run(), name="update")
+
+    def _run(self):
+        while True:
+            yield 25
+            # RAC001: PredictWorker._run writes the same attribute.
+            self.stats.served += 1
+
+
+class DropWorker:
+    def __init__(self, engine, stats: "SharedStats"):
+        self.engine = engine
+        self.stats = stats
+
+    def start(self):
+        return spawn(self.engine, self._run(), name="drop")
+
+    def _run(self):
+        while True:
+            yield 5
+            # RAC001: reset_stats also writes dropped, synchronously.
+            self.stats.dropped += 1
+
+
+def reset_stats(stats: "SharedStats"):
+    """Synchronous path racing DropWorker's in-flight decrements."""
+    stats.dropped = 0
+
+
+class RequestQueue:
+    """A sanctioned owner: its internal writes are mediated by name."""
+
+    def __init__(self):
+        self.depth = 0
+
+    def push(self, item):
+        self.depth += 1
+        return item
+
+
+class QueueFeeder:
+    def __init__(self, engine, queue: "RequestQueue"):
+        self.engine = engine
+        self.queue = queue
+
+    def start(self):
+        return spawn(self.engine, self._run(), name="feeder-a")
+
+    def start_second(self):
+        return spawn(self.engine, self._feed_more(), name="feeder-b")
+
+    def _run(self):
+        while True:
+            yield 1
+            # Clean: the write happens inside the sanctioned owner.
+            self.queue.push(object())
+
+    def _feed_more(self):
+        while True:
+            yield 2
+            self.queue.push(object())

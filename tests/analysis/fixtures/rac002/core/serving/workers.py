@@ -1,0 +1,67 @@
+"""Check-then-act across a yield point (RAC002 positive + negative)."""
+
+
+class BoundedQueue:
+    def __init__(self):
+        self.depth = 0
+        self.items = []
+
+
+class BadAdmitter:
+    """Checks queue depth, yields, then acts on the stale check."""
+
+    def __init__(self, engine, queue: "BoundedQueue"):
+        self.engine = engine
+        self.queue = queue
+        self.window = 50
+
+    def start(self):
+        return spawn(self.engine, self._admit_loop(), name="bad-admit")
+
+    def _admit_loop(self):
+        while True:
+            if self.queue.depth < 8:
+                yield self.window
+                # RAC002: the dispatcher may have refilled the queue
+                # while we slept on the yield above.
+                self.queue.items.append(object())
+            else:
+                yield self.window
+
+
+class GoodAdmitter:
+    """Re-reads the guarded state after the yield before acting."""
+
+    def __init__(self, engine, queue: "BoundedQueue"):
+        self.engine = engine
+        self.queue = queue
+        self.window = 50
+
+    def start(self):
+        return spawn(self.engine, self._admit_loop(), name="good-admit")
+
+    def _admit_loop(self):
+        while True:
+            if self.queue.depth < 8:
+                yield self.window
+                if self.queue.depth < 8:
+                    self.queue.items.append(object())
+            else:
+                yield self.window
+
+
+class AtomicAdmitter:
+    """Check and act in one engine step: no yield between them."""
+
+    def __init__(self, engine, queue: "BoundedQueue"):
+        self.engine = engine
+        self.queue = queue
+
+    def start(self):
+        return spawn(self.engine, self._admit_loop(), name="atomic")
+
+    def _admit_loop(self):
+        while True:
+            if self.queue.depth < 8:
+                self.queue.items.append(object())
+            yield 10

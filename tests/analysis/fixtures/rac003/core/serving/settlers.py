@@ -1,0 +1,97 @@
+"""Future settlement reachable from two processes (RAC003)."""
+
+
+class CompletionFuture:
+    def __init__(self):
+        self.done = False
+
+    def complete(self, value):
+        self.done = True
+        return value
+
+    def fail(self, error):
+        self.done = True
+        return error
+
+
+class PendingSet:
+    def __init__(self):
+        self.requests = []
+
+    def drain(self):
+        return []
+
+    def expired(self):
+        return []
+
+
+class DoubleSettler:
+    """Worker and reaper both reach the same settle site."""
+
+    def __init__(self, engine, pending: "PendingSet"):
+        self.engine = engine
+        self.pending = pending
+
+    def start(self):
+        spawn(self.engine, self._worker(), name="worker")
+        spawn(self.engine, self._reaper(), name="reaper")
+
+    def _worker(self):
+        while True:
+            yield 10
+            for request in self.pending.drain():
+                self._finish(request)
+
+    def _reaper(self):
+        while True:
+            yield 100
+            for request in self.pending.expired():
+                self._finish(request)
+
+    def _finish(self, request):
+        # RAC003: whichever of worker/reaper gets here second settles
+        # an already-settled future.
+        request.future.complete(None)
+
+
+class LocalSettler:
+    """Settles only futures it constructs: the creator owns them."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def start(self):
+        spawn(self.engine, self._issue(), name="local-a")
+        spawn(self.engine, self._issue_more(), name="local-b")
+
+    def _issue(self):
+        while True:
+            yield 5
+            self._resolve_now()
+
+    def _issue_more(self):
+        while True:
+            yield 7
+            self._resolve_now()
+
+    def _resolve_now(self):
+        future = CompletionFuture()
+        future.complete(None)
+        return future
+
+
+class SingleSettler:
+    """One process, one settle path: single ownership, clean."""
+
+    def __init__(self, engine, pending: "PendingSet"):
+        self.engine = engine
+        self.pending = pending
+
+    def start(self):
+        spawn(self.engine, self._worker(), name="single")
+
+    def _worker(self):
+        while True:
+            yield 10
+            for request in self.pending.drain():
+                request.future.complete(None)

@@ -1,0 +1,57 @@
+"""Pragma anchoring edge cases for interprocedural findings.
+
+The QUE001 interprocedural pass anchors its finding at the kernel call
+site inside the helper, but also honors a pragma on the helper's
+``def`` line or any of its decorator lines (suppressing the whole
+helper is the reviewable unit when the call spans several lines).
+"""
+
+
+def traced(fn):
+    return fn
+
+
+@traced  # repro: allow QUE001
+def helper_decorator_pragma(service, rows):
+    """Suppressed: the pragma sits on the decorator line."""
+    return service.predict_batch(rows)
+
+
+def helper_def_pragma(service, rows):  # repro: allow QUE001
+    """Suppressed: the pragma sits on the def line."""
+    return service.predict_batch(rows)
+
+
+def helper_multiline_first_line(service, rows):
+    """Suppressed: the finding anchors to the call's *first* line,
+    where the pragma sits."""
+    return service.predict_batch(  # repro: allow QUE001
+        rows,
+        batch_hint=len(rows),
+    )
+
+
+def helper_multiline_last_line(service, rows):
+    """NOT suppressed: a pragma on the call's closing line misses the
+    first-line anchor (and the def line carries no pragma)."""
+    return service.predict_batch(
+        rows,
+        batch_hint=len(rows),  # repro: allow QUE001
+    )
+
+
+class PragmaWorker:
+    def __init__(self, engine, service):
+        self.engine = engine
+        self.service = service
+
+    def start(self):
+        return spawn(self.engine, self._run(), name="pragma-worker")
+
+    def _run(self):
+        while True:
+            yield 10
+            helper_decorator_pragma(self.service, [1])
+            helper_def_pragma(self.service, [2])
+            helper_multiline_first_line(self.service, [3])
+            helper_multiline_last_line(self.service, [4])

@@ -1,0 +1,268 @@
+"""Unit tests for the whole-program layer (symbol tables, summaries,
+type inference, bounded reachability)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.callgraph import (
+    MAX_CALL_DEPTH,
+    ProgramIndex,
+    ann_type_name,
+    attr_chain,
+)
+from repro.analysis.engine import Project
+
+
+def make_index(tmp_path, files):
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return ProgramIndex(Project(tmp_path))
+
+
+class TestAttrChain:
+    def test_plain_chain(self):
+        import ast
+        node = ast.parse("self.queue.items").body[0].value
+        assert attr_chain(node) == ("self", "queue", "items")
+
+    def test_subscript_peeled(self):
+        import ast
+        node = ast.parse("self.queues[i].depth").body[0].value
+        assert attr_chain(node) == ("self", "queues", "depth")
+
+    def test_call_rooted_chain_is_none(self):
+        import ast
+        node = ast.parse("make().depth").body[0].value
+        assert attr_chain(node) is None
+
+
+class TestAnnTypeName:
+    @pytest.mark.parametrize("source, expected", [
+        ("x: Queue", "Queue"),
+        ("x: mod.Queue", "Queue"),
+        ('x: "Queue"', "Queue"),
+        ('x: "Queue | None"', "Queue"),
+        ('x: "None | Queue"', "Queue"),
+        ('x: "repro.core.Queue"', "Queue"),
+        ("x: Queue | None", "Queue"),
+        ("x: Optional[Queue]", "Queue"),
+        ("x: list[Queue]", None),
+        ("x: 42", None),
+    ])
+    def test_forms(self, source, expected):
+        import ast
+        ann = ast.parse(source).body[0].annotation
+        assert ann_type_name(ann) == expected
+
+
+class TestSummaries:
+    def test_function_summary_shape(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """\
+            class Worker:
+                def __init__(self, queue: "Queue"):
+                    self.queue = queue
+
+                def run(self):
+                    while True:
+                        yield 5
+                        self.queue.push(1)
+                        self.count += 1
+
+            class Queue:
+                def __init__(self):
+                    self.depth = 0
+
+                def push(self, item):
+                    self.depth += 1
+        """})
+        run = index.functions["mod.py::Worker.run"]
+        assert run.is_generator
+        assert len(run.yield_lines) == 1
+        assert [(c.chain, c.name) for c in run.calls] \
+            == [((("self", "queue")), "push")]
+        assert [w.chain for w in run.writes] == [("self", "count")]
+
+    def test_attr_types_from_init_annotation(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """\
+            class Queue:
+                def __init__(self):
+                    self.depth = 0
+
+            class Owner:
+                def __init__(self, queue: "Queue | None"):
+                    self.queue = queue
+                    self.spare = Queue()
+                    self.maybe = Queue() if queue is None else None
+        """})
+        owner = index.resolve_class("Owner")
+        assert owner.attr_types["queue"] == "Queue"
+        assert owner.attr_types["spare"] == "Queue"
+        assert owner.attr_types["maybe"] == "Queue"
+
+    def test_container_element_type(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """\
+            class Queue:
+                def __init__(self):
+                    self.items = []
+
+            class Pool:
+                def __init__(self, n):
+                    self.queues = [Queue() for _ in range(n)]
+
+                def touch(self, i):
+                    self.queues[i].items.append(1)
+        """})
+        pool = index.resolve_class("Pool")
+        assert pool.attr_types["queues"] == "Queue"
+        touch = index.functions["mod.py::Pool.touch"]
+        # Subscript peeling models the element as the container type.
+        assert index.receiver_type(("self", "queues"), touch) == "Queue"
+
+
+class TestResolution:
+    def test_self_method_and_typed_attr(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """\
+            class Queue:
+                def push(self, item):
+                    return item
+
+            class Worker:
+                def __init__(self, queue: "Queue"):
+                    self.queue = queue
+
+                def go(self):
+                    self.helper()
+                    self.queue.push(1)
+
+                def helper(self):
+                    return None
+        """})
+        go = index.functions["mod.py::Worker.go"]
+        resolved = {index.resolve_call(site, go).qname
+                    for site in go.calls}
+        assert resolved == {"mod.py::Worker.helper",
+                            "mod.py::Queue.push"}
+
+    def test_local_alias_from_self_attr(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """\
+            class Service:
+                def predict(self, rows):
+                    return rows
+
+            class Dispatcher:
+                def __init__(self, service: "Service"):
+                    self.service = service
+
+                def execute(self):
+                    service = self.service
+                    return service.predict([1])
+        """})
+        execute = index.functions["mod.py::Dispatcher.execute"]
+        (site,) = [s for s in execute.calls if s.name == "predict"]
+        assert index.resolve_call(site, execute).qname \
+            == "mod.py::Service.predict"
+
+    def test_from_import_resolution(self, tmp_path):
+        index = make_index(tmp_path, {
+            "pkg/util.py": """\
+                def helper(x):
+                    return x
+            """,
+            "pkg/main.py": """\
+                from pkg.util import helper
+
+                def entry():
+                    return helper(1)
+            """,
+        })
+        entry = index.functions["pkg/main.py::entry"]
+        (site,) = entry.calls
+        assert index.resolve_call(site, entry).qname \
+            == "pkg/util.py::helper"
+
+    def test_ambiguous_class_name_resolves_to_none(self, tmp_path):
+        index = make_index(tmp_path, {
+            "a.py": "class Queue:\n    pass\n",
+            "b.py": "class Queue:\n    pass\n",
+        })
+        assert index.resolve_class("Queue") is None
+
+    def test_base_class_method_lookup(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """\
+            class Base:
+                def shared(self):
+                    return 1
+
+            class Child(Base):
+                def go(self):
+                    return self.shared()
+        """})
+        go = index.functions["mod.py::Child.go"]
+        (site,) = go.calls
+        assert index.resolve_call(site, go).qname \
+            == "mod.py::Base.shared"
+
+
+class TestReachability:
+    def test_transitive_reach_and_path(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """\
+            def a():
+                return b()
+
+            def b():
+                return c()
+
+            def c():
+                return 1
+        """})
+        entry = index.functions["mod.py::a"]
+        reach = index.reachable(entry)
+        assert set(reach) == {"mod.py::a", "mod.py::b", "mod.py::c"}
+        assert index.call_path(reach, "mod.py::c") \
+            == ["mod.py::a", "mod.py::b", "mod.py::c"]
+        assert reach["mod.py::c"].depth == 2
+
+    def test_depth_bound(self, tmp_path):
+        chain = "\n\n".join(
+            f"def f{i}():\n    return f{i + 1}()"
+            for i in range(MAX_CALL_DEPTH + 3)
+        ) + f"\n\ndef f{MAX_CALL_DEPTH + 3}():\n    return 0\n"
+        index = make_index(tmp_path, {"mod.py": chain})
+        reach = index.reachable(index.functions["mod.py::f0"])
+        depths = {r.depth for r in reach.values()}
+        assert max(depths) == MAX_CALL_DEPTH
+        assert f"mod.py::f{MAX_CALL_DEPTH + 2}" not in reach
+
+    def test_stop_classes_cut_traversal(self, tmp_path):
+        index = make_index(tmp_path, {"mod.py": """\
+            class Owner:
+                def mediate(self):
+                    return leaked()
+
+            def leaked():
+                return 1
+
+            class Worker:
+                def __init__(self, owner: "Owner"):
+                    self.owner = owner
+
+                def run(self):
+                    yield 1
+                    self.owner.mediate()
+        """})
+        entry = index.functions["mod.py::Worker.run"]
+        full = index.reachable(entry)
+        scoped = index.reachable(entry,
+                                 stop_classes=frozenset({"Owner"}))
+        assert "mod.py::leaked" in full
+        assert "mod.py::Owner.mediate" not in scoped
+        assert "mod.py::leaked" not in scoped
+
+    def test_shared_index_cached_per_project(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+        project = Project(tmp_path)
+        assert ProgramIndex.for_project(project) \
+            is ProgramIndex.for_project(project)

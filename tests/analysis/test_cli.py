@@ -99,6 +99,127 @@ class TestSeededViolation:
         assert main(["--root", str(root), "--baseline"]) == 2
 
 
+def git(root, *args):
+    return subprocess.run(
+        ["git", "-C", str(root), "-c", "user.email=t@t",
+         "-c", "user.name=t", *args],
+        capture_output=True, text=True, check=True,
+    )
+
+
+class TestChanged:
+    def test_scopes_per_file_rules_to_diffed_files(self, tmp_path,
+                                                   capsys):
+        (tmp_path / "stale.py").write_text(
+            "import time\nA = time.time()\n")
+        (tmp_path / "fresh.py").write_text("B = 1\n")
+        git(tmp_path, "init", "-q")
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        # Only fresh.py changes; stale.py's violation predates the
+        # diff and stays out of the fast pre-push loop.
+        (tmp_path / "fresh.py").write_text(
+            "import time\nB = time.time()\n")
+        assert main(["--root", str(tmp_path), "--changed",
+                     "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["changed_files"] == 1
+        assert [f["path"] for f in report["findings"]] == ["fresh.py"]
+        # The full (unscoped) run still sees both.
+        capsys.readouterr()
+        assert main(["--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "stale.py" in out and "fresh.py" in out
+
+    def test_cross_file_finish_pass_still_runs(self, tmp_path,
+                                               capsys):
+        shutil.copytree(REPO_ROOT / "tests" / "analysis" / "fixtures"
+                        / "rac001", tmp_path / "tree")
+        root = tmp_path / "tree"
+        git(root, "init", "-q")
+        git(root, "add", ".")
+        git(root, "commit", "-qm", "seed")
+        # Empty diff: the per-file pass covers nothing, but the
+        # interprocedural finish pass still audits the whole tree.
+        assert main(["--root", str(root), "--changed",
+                     "--rules", "RAC001", "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["changed_files"] == 0
+        assert len(report["findings"]) == 3
+
+    def test_state_accumulating_rules_see_unchanged_files(
+            self, tmp_path, capsys):
+        """TRC002 collects emission sites in check_file and reports in
+        finish; scoping must filter findings, not starve that state
+        (else every kind looks dead the moment the diff is small)."""
+        shutil.copytree(REPO_ROOT / "src", tmp_path / "src")
+        git(tmp_path, "init", "-q")
+        git(tmp_path, "add", ".")
+        git(tmp_path, "commit", "-qm", "seed")
+        readme = tmp_path / "README.md"
+        readme.write_text("touched\n")
+        git(tmp_path, "add", ".")
+        assert main(["--root", str(tmp_path), "--changed",
+                     "--rules", "TRC002"]) == 0
+        capsys.readouterr()
+
+    def test_without_git_is_exit_2(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path), "--changed"]) == 2
+        assert "git" in capsys.readouterr().err
+
+
+class TestSarif:
+    def test_sarif_stdout_validates(self, tmp_path, capsys):
+        from repro.analysis.sarif import (
+            FINGERPRINT_KEY,
+            validate_sarif,
+        )
+        root = seeded_tree(tmp_path)
+        assert main(["--root", str(root), "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        validate_sarif(payload)
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] \
+            == "src/repro/core/config.py"
+        assert location["region"]["startLine"] >= 1
+        assert FINGERPRINT_KEY in result["partialFingerprints"]
+        # Every registered rule lands in the driver table.
+        ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "RAC001" in ids and ids == sorted(ids)
+
+    def test_sarif_out_artifact_next_to_json(self, tmp_path, capsys):
+        from repro.analysis.sarif import validate_sarif
+        root = seeded_tree(tmp_path)
+        json_artifact = tmp_path / "findings.json"
+        sarif_artifact = tmp_path / "findings.sarif"
+        assert main(["--root", str(root),
+                     "--output", str(json_artifact),
+                     "--sarif-out", str(sarif_artifact)]) == 1
+        capsys.readouterr()
+        validate_sarif(json.loads(sarif_artifact.read_text()))
+        assert json.loads(json_artifact.read_text())["findings"]
+
+    def test_clean_tree_sarif_has_no_results(self, capsys):
+        from repro.analysis.sarif import validate_sarif
+        assert main(["--root", str(REPO_ROOT),
+                     "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_sarif(payload)
+        assert payload["runs"][0]["results"] == []
+
+    def test_validator_rejects_malformed(self):
+        from repro.analysis.sarif import validate_sarif
+        with pytest.raises(ValueError):
+            validate_sarif({"version": "2.1.0", "runs": []})
+        with pytest.raises(ValueError):
+            validate_sarif({"version": "1.0.0", "runs": [{}]})
+
+
 class TestUsage:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0

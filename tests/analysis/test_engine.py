@@ -49,6 +49,70 @@ class TestPragmas:
         }
 
 
+class TestPragmaAnchors:
+    def test_pragma_lines_extend_suppression(self, tmp_path):
+        """A finding carrying extra pragma anchor lines (the flagged
+        function's def/decorator lines) is suppressed by a pragma on
+        any of them."""
+        source = "\n".join([
+            "# repro: allow DET001",     # line 1
+            "def helper():",             # line 2
+            "    pass",
+            "",
+            "x = 1",                     # line 5: finding anchor
+        ])
+        (tmp_path / "m.py").write_text(source + "\n")
+        project = Project(tmp_path)
+        (ctx,) = project.contexts
+
+        class AnchoredRule:
+            rule_id = "DET001"
+            hint = ""
+
+            def check_file(self, context):
+                yield context.finding("DET001", 5, "anchored",
+                                      pragma_lines=(2,))
+
+            def finish(self, project):
+                return iter(())
+
+        findings, suppressed = run_rules(project, [AnchoredRule()])
+        assert findings == []
+        assert suppressed == 1
+
+    def test_rule_hint_stamped_onto_findings(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        project = Project(tmp_path)
+
+        class HintedRule:
+            rule_id = "DET001"
+            hint = "use the sim clock"
+
+            def check_file(self, context):
+                yield context.finding("DET001", 1, "msg")
+
+            def finish(self, project):
+                return iter(())
+
+        findings, _ = run_rules(project, [HintedRule()])
+        assert findings[0].hint == "use the sim clock"
+
+
+class TestContextFor:
+    def test_lookup_is_a_dict_hit(self, tmp_path):
+        pkg = tmp_path / DEFAULT_PACKAGE / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("a = 1\n")
+        (pkg / "b.py").write_text("b = 1\n")
+        project = Project(tmp_path)
+        ctx = project.context_for("core/b.py")
+        assert ctx is not None and ctx.module_path == "core/b.py"
+        assert project.context_for("core/missing.py") is None
+        # The index is built once, not scanned per call.
+        assert project._by_module_path["core/a.py"] \
+            is project.context_for("core/a.py")
+
+
 class TestModulePath:
     def test_strips_package_prefix(self, tmp_path):
         module = tmp_path / DEFAULT_PACKAGE / "core" / "x.py"
@@ -101,6 +165,16 @@ class TestFinding:
     def test_render_form(self):
         finding = Finding("DET001", "m.py", 3, "no clocks")
         assert finding.render() == "m.py:3: DET001 error: no clocks"
+
+    def test_hint_renders_but_never_fingerprints(self):
+        bare = Finding("DET001", "m.py", 3, "no clocks",
+                       source_line="t = time.time()")
+        hinted = Finding("DET001", "m.py", 3, "no clocks",
+                         source_line="t = time.time()",
+                         hint="use the sim clock")
+        assert hinted.fingerprint() == bare.fingerprint()
+        assert "hint: use the sim clock" in hinted.render()
+        assert hinted.as_dict()["hint"] == "use the sim clock"
 
     def test_invalid_severity_rejected(self):
         with pytest.raises(ValueError):
